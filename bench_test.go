@@ -1,0 +1,241 @@
+package hangdoctor
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation (the per-experiment index lives in DESIGN.md §4), plus the
+// ablation benches for the design choices DESIGN.md calls out. Each
+// benchmark regenerates its artifact end to end — corpus execution,
+// detection, and scoring — and reports tokens of domain throughput
+// (actions simulated, samples collected) alongside ns/op.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiments are deterministic; the benchmarks measure the cost of
+// regenerating each artifact, and their correctness is asserted by the
+// test suites under internal/experiments.
+
+import (
+	"testing"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/core"
+	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/detect"
+	"hangdoctor/internal/experiments"
+	"hangdoctor/internal/simclock"
+)
+
+// benchScale keeps benchmark iterations affordable while exercising every
+// code path the full-scale run does.
+func benchScale() experiments.Scale {
+	s := experiments.SmallScale()
+	return s
+}
+
+func benchCtx(b *testing.B) *experiments.Context {
+	b.Helper()
+	return experiments.NewContext(42, benchScale())
+}
+
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ctx := experiments.NewContext(42, benchScale())
+		res, err := experiments.Run(ctx, name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Render() == "" {
+			b.Fatal("empty artifact")
+		}
+	}
+}
+
+// BenchmarkTable1Corpus regenerates Table 1 (the motivation-app inventory).
+func BenchmarkTable1Corpus(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2TimeoutSweep regenerates Table 2 (TI detection quality at
+// 5 s / 1 s / 500 ms / 100 ms timeouts over the eight motivation apps).
+func BenchmarkTable2TimeoutSweep(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3Correlation regenerates Table 3 (46-event Pearson ranking,
+// main-minus-render difference vs main-thread-only).
+func BenchmarkTable3Correlation(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkTable4Sensitivity regenerates Table 4 (ranking stability on 75%
+// and 50% training subsets).
+func BenchmarkTable4Sensitivity(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5FullCorpus regenerates Table 5 (Hang Doctor over all 114
+// apps: bugs detected and offline misses).
+func BenchmarkTable5FullCorpus(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6ValidationSet regenerates Table 6 (which S-Checker
+// counters detect each previously unknown bug).
+func BenchmarkTable6ValidationSet(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkFig1Timeline regenerates Figure 1 (A Better Camera buggy vs
+// fixed Resume timeline).
+func BenchmarkFig1Timeline(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig2bFieldReport regenerates Figure 2(b) (the merged AndStatus
+// Hang Bug Report across simulated devices).
+func BenchmarkFig2bFieldReport(b *testing.B) { runExperiment(b, "fig2b") }
+
+// BenchmarkFig4FilterDesign regenerates Figure 4 (the filter's class
+// separation and the greedy threshold selection).
+func BenchmarkFig4FilterDesign(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5TimeSeries regenerates Figure 5 (windowed context-switch
+// series of a bug action and a UI action).
+func BenchmarkFig5TimeSeries(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6K9Walkthrough regenerates Figure 6 (the HtmlCleaner.clean
+// detection walk-through).
+func BenchmarkFig6K9Walkthrough(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7StateMachine regenerates Figure 7 (state-transition pruning
+// of UI false positives).
+func BenchmarkFig7StateMachine(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8Detection regenerates Figure 8(a,b,c) (Hang Doctor vs the
+// five baselines: normalized TP/FP and overhead).
+func BenchmarkFig8Detection(b *testing.B) { runExperiment(b, "fig8") }
+
+// ---------------------------------------------------------------------------
+// Ablation benches (DESIGN.md §5).
+
+// runHDVariant runs one Hang Doctor configuration over the K9-Mail trace.
+func runHDVariant(b *testing.B, cfg core.Config) {
+	b.Helper()
+	c := corpus.Build()
+	a := c.MustApp("K9-Mail")
+	trace := corpus.Trace(a, 42, benchScale().TracePerApp)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := core.New(cfg)
+		h, err := detect.NewHarness(a, app.LGV10(), 42, d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		h.Run(trace, simclock.Second)
+		if len(h.Execs) != len(trace) {
+			b.Fatal("trace truncated")
+		}
+	}
+}
+
+// BenchmarkAblationPhases compares the full two-phase pipeline against the
+// single-phase variants.
+func BenchmarkAblationPhases(b *testing.B) {
+	b.Run("two-phase", func(b *testing.B) { runHDVariant(b, core.Config{}) })
+	b.Run("phase1-only", func(b *testing.B) { runHDVariant(b, core.Config{Phase1Only: true}) })
+	b.Run("phase2-only", func(b *testing.B) { runHDVariant(b, core.Config{Phase2Only: true}) })
+}
+
+// BenchmarkAblationThreadSelection compares main-minus-render differences
+// against main-thread-only counters (Table 3's two columns).
+func BenchmarkAblationThreadSelection(b *testing.B) {
+	b.Run("main-render-diff", func(b *testing.B) { runHDVariant(b, core.Config{}) })
+	b.Run("main-only", func(b *testing.B) { runHDVariant(b, core.Config{MainThreadOnly: true}) })
+}
+
+// BenchmarkAblationEventCount compares the paper's three events against a
+// single event and the full 46-event (multiplexed) filter.
+func BenchmarkAblationEventCount(b *testing.B) {
+	one := core.DefaultConditions()[:1]
+	b.Run("three-events", func(b *testing.B) { runHDVariant(b, core.Config{}) })
+	b.Run("ctx-only", func(b *testing.B) { runHDVariant(b, core.Config{Conditions: one}) })
+}
+
+// BenchmarkAblationEarlyStop compares end-of-action counter reads against
+// the early-window strategy §3.3.1 rejects.
+func BenchmarkAblationEarlyStop(b *testing.B) {
+	b.Run("full-window", func(b *testing.B) { runHDVariant(b, core.Config{}) })
+	b.Run("early-250ms", func(b *testing.B) {
+		runHDVariant(b, core.Config{EarlyRead: 250 * simclock.Millisecond})
+	})
+}
+
+// BenchmarkAblationReset compares the periodic Uncategorized reset against
+// never re-checking Normal actions.
+func BenchmarkAblationReset(b *testing.B) {
+	b.Run("reset-20", func(b *testing.B) { runHDVariant(b, core.Config{}) })
+	b.Run("no-reset", func(b *testing.B) { runHDVariant(b, core.Config{ResetEvery: 1 << 30}) })
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks: the cost of the simulation itself.
+
+// BenchmarkSubstrateActionExecution measures one full K9-Mail action
+// (scheduler + looper + render + interference), the inner loop of every
+// experiment.
+func BenchmarkSubstrateActionExecution(b *testing.B) {
+	c := corpus.Build()
+	a := c.MustApp("K9-Mail")
+	s, err := app.NewSession(a, app.LGV10(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	act := a.MustAction("Inbox")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Perform(act)
+		s.Idle(simclock.Second)
+	}
+}
+
+// BenchmarkSubstrateCorpusBuild measures corpus assembly (114 apps).
+func BenchmarkSubstrateCorpusBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := corpus.Build()
+		if len(c.Apps) != 114 {
+			b.Fatal("bad corpus")
+		}
+	}
+}
+
+// BenchmarkSubstrateDoctorPipeline measures a monitored action end to end,
+// including S-Checker perf sessions and Diagnoser sampling.
+func BenchmarkSubstrateDoctorPipeline(b *testing.B) {
+	ctx := benchCtx(b)
+	a := ctx.Corpus.MustApp("K9-Mail")
+	s, err := app.NewSession(a, app.LGV10(), 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := core.New(core.Config{})
+	d.Attach(s)
+	s.AddListener(d)
+	act := a.MustAction("Open Email")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Perform(act)
+		s.Idle(simclock.Second)
+	}
+}
+
+// BenchmarkTestbedStudy regenerates the §4.6 test-bed-vs-wild comparison.
+func BenchmarkTestbedStudy(b *testing.B) { runExperiment(b, "testbed") }
+
+// BenchmarkFixVerify regenerates the §4.2 fix-verification study.
+func BenchmarkFixVerify(b *testing.B) { runExperiment(b, "fixverify") }
+
+// BenchmarkLongitudinalStudy regenerates the multi-day fleet
+// detection-latency study.
+func BenchmarkLongitudinalStudy(b *testing.B) { runExperiment(b, "longitudinal") }
+
+// BenchmarkThresholdSweep regenerates the filter threshold-sensitivity
+// curves.
+func BenchmarkThresholdSweep(b *testing.B) { runExperiment(b, "sweep") }
+
+// BenchmarkDeviceGenerality regenerates the cross-device filter check.
+func BenchmarkDeviceGenerality(b *testing.B) { runExperiment(b, "devices") }
+
+// BenchmarkResponsivenessImpact regenerates the §4.5 impact study with
+// detector costs injected as real work.
+func BenchmarkResponsivenessImpact(b *testing.B) { runExperiment(b, "impact") }
+
+// BenchmarkSeedRobustness regenerates the cross-seed robustness study.
+func BenchmarkSeedRobustness(b *testing.B) { runExperiment(b, "seeds") }

@@ -1,0 +1,83 @@
+// Command corpus inspects the simulated 114-app evaluation corpus: app
+// metadata, seeded bugs with their offline visibility, and the
+// known-blocking database.
+//
+// Usage:
+//
+//	corpus                 # summary
+//	corpus -app K9-Mail    # one app in detail
+//	corpus -bugs           # every seeded bug
+//	corpus -blocking       # the known-blocking API database
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/detect"
+)
+
+func main() {
+	appName := flag.String("app", "", "show one app in detail")
+	bugs := flag.Bool("bugs", false, "list every seeded bug")
+	blocking := flag.Bool("blocking", false, "dump the known-blocking API database")
+	flag.Parse()
+
+	c := corpus.Build()
+
+	switch {
+	case *appName != "":
+		a, ok := c.App(*appName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "no app %q\n", *appName)
+			os.Exit(2)
+		}
+		fmt.Printf("%s (commit %s, %s, %s downloads)\n", a.Name, a.Commit, a.Category, a.Downloads)
+		for _, act := range a.Actions {
+			fmt.Printf("  action %-24s weight %.1f\n", act.Name, act.Weight)
+			for _, op := range act.Ops() {
+				kind := "op"
+				if op.Bug != nil {
+					kind = "BUG " + op.Bug.ID
+				} else if op.IsUI(a.Registry) {
+					kind = "ui"
+				}
+				fmt.Printf("    %-10s %-60s median main %v\n", kind, op.LeafKey(), op.Heavy.MainDuration())
+			}
+		}
+		if len(a.Bugs) > 0 {
+			fmt.Println("  offline scanner view:")
+			found := map[string]bool{}
+			for _, b := range detect.OfflineDetectedBugs(a, c.Registry) {
+				found[b.ID] = true
+			}
+			for _, b := range a.Bugs {
+				vis := "MISSED offline"
+				if found[b.ID] {
+					vis = "detected offline"
+				}
+				fmt.Printf("    %-36s %s — %s\n", b.ID, vis, b.Description)
+			}
+		}
+	case *bugs:
+		for _, b := range c.AllBugs() {
+			mo := " "
+			if !c.OfflineVisible(b) {
+				mo = "M"
+			}
+			fmt.Printf("[%s] %-40s %-60s %s\n", mo, b.ID, b.RootCauseKey(), b.Description)
+		}
+	case *blocking:
+		for _, k := range c.Registry.KnownBlocking() {
+			fmt.Println(k)
+		}
+	default:
+		fmt.Printf("corpus: %d apps (%d with seeded bugs, %d motivation, %d generated)\n",
+			len(c.Apps), len(c.Table5), len(c.Motivation), len(c.Apps)-len(c.Table5)-len(c.Motivation))
+		fmt.Printf("seeded bugs: %d (%d missed by offline detection)\n",
+			len(c.Table5Bugs()), len(c.MissedOfflineBugs()))
+		fmt.Printf("known-blocking APIs in database: %d\n", len(c.Registry.KnownBlocking()))
+	}
+}

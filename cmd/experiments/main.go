@@ -1,0 +1,65 @@
+// Command experiments regenerates the paper's tables and figures on the
+// simulated corpus.
+//
+// Usage:
+//
+//	experiments [-run name[,name...]] [-seed N] [-scale small|full] [-list]
+//
+// With no -run flag it regenerates everything in paper order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"hangdoctor/internal/experiments"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment names (default: all)")
+	seed := flag.Uint64("seed", 42, "deterministic experiment seed")
+	scaleFlag := flag.String("scale", "full", "workload scale: small or full")
+	list := flag.Bool("list", false, "list experiment names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Println(e.Name)
+		}
+		return
+	}
+
+	scale := experiments.FullScale()
+	switch *scaleFlag {
+	case "full":
+	case "small":
+		scale = experiments.SmallScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want small or full)\n", *scaleFlag)
+		os.Exit(2)
+	}
+
+	var names []string
+	if *runFlag == "" {
+		for _, e := range experiments.Registry() {
+			names = append(names, e.Name)
+		}
+	} else {
+		names = strings.Split(*runFlag, ",")
+	}
+
+	ctx := experiments.NewContext(*seed, scale)
+	for _, name := range names {
+		start := time.Now()
+		res, err := experiments.Run(ctx, strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Render())
+		fmt.Printf("[%s regenerated in %v]\n\n", res.Name(), time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,97 @@
+// Command fleet is the developer-side half of the Hang Bug Report upload
+// path: it reads anonymized JSON report documents (one per device, produced
+// by (*Report).Export) from a directory, merges them order-independently,
+// and prints the fleet-wide Hang Bug Report.
+//
+// Usage:
+//
+//	fleet -dir reports/          # merge reports/*.json
+//	fleet -demo -dir out/        # generate a demo fleet's uploads first
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"hangdoctor"
+	"hangdoctor/internal/core"
+)
+
+func main() {
+	dir := flag.String("dir", "", "directory of exported report JSON files")
+	demo := flag.Bool("demo", false, "first simulate a small fleet and write its uploads into -dir")
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "usage: fleet -dir <reports-dir> [-demo]")
+		os.Exit(2)
+	}
+
+	if *demo {
+		if err := writeDemoUploads(*dir); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	entries, err := filepath.Glob(filepath.Join(*dir, "*.json"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sort.Strings(entries)
+	if len(entries) == 0 {
+		fmt.Fprintf(os.Stderr, "no .json reports in %s (try -demo)\n", *dir)
+		os.Exit(1)
+	}
+	fleet := core.NewReport()
+	for _, path := range entries {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		rep, err := core.ImportReport(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "skipping %s: %v\n", path, err)
+			continue
+		}
+		fleet.Merge(rep)
+	}
+	fmt.Printf("merged %d device reports (%d diagnosed hangs)\n\n", len(entries), fleet.TotalHangs())
+	fmt.Print(fleet.Render())
+}
+
+// writeDemoUploads simulates a handful of devices and writes their
+// anonymized uploads.
+func writeDemoUploads(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	c := hangdoctor.LoadCorpus()
+	a := c.MustApp("AndStatus")
+	for u := 0; u < 6; u++ {
+		dev := hangdoctor.LGV10()
+		dev.Name = fmt.Sprintf("device-%02d", u)
+		sess, err := hangdoctor.NewSession(a, dev, uint64(500+u))
+		if err != nil {
+			return err
+		}
+		doctor := hangdoctor.Monitor(sess, hangdoctor.Config{})
+		hangdoctor.RunTrace(sess, hangdoctor.Trace(a, uint64(500+u), 150), hangdoctor.Second)
+		f, err := os.Create(filepath.Join(dir, fmt.Sprintf("device-%02d.json", u)))
+		if err != nil {
+			return err
+		}
+		err = doctor.Report().Anonymize("demo-salt").Export(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("wrote 6 demo uploads to %s\n", dir)
+	return nil
+}

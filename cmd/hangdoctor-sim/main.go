@@ -1,0 +1,160 @@
+// Command hangdoctor-sim runs one corpus app under a chosen detector on a
+// simulated device and prints what the detector found.
+//
+// Usage:
+//
+//	hangdoctor-sim -app K9-Mail [-detector hd|ti|utl|uth|utl+ti|uth+ti]
+//	               [-actions 200] [-seed 42] [-device lgv10|nexus5|galaxys3]
+//	               [-transitions] [-offline]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/core"
+	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/detect"
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/trace"
+)
+
+func main() {
+	appName := flag.String("app", "K9-Mail", "corpus app to run")
+	detName := flag.String("detector", "hd", "detector: hd, ti, utl, uth, utl+ti, uth+ti")
+	actions := flag.Int("actions", 200, "number of user actions in the trace")
+	seed := flag.Uint64("seed", 42, "deterministic seed")
+	deviceName := flag.String("device", "lgv10", "device model: lgv10, nexus5, galaxys3")
+	showTransitions := flag.Bool("transitions", false, "print the HD state-transition log")
+	offline := flag.Bool("offline", false, "also run the offline scanner and compare")
+	traceOut := flag.String("trace", "", "write a Chrome trace (chrome://tracing / Perfetto) of the run to this file")
+	listApps := flag.Bool("list", false, "list corpus apps and exit")
+	flag.Parse()
+
+	c := corpus.Build()
+	if *listApps {
+		for _, a := range c.Apps {
+			fmt.Printf("%-24s %-18s bugs=%d\n", a.Name, a.Category, len(a.Bugs))
+		}
+		return
+	}
+	a, ok := c.App(*appName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "no app %q in corpus (try -list)\n", *appName)
+		os.Exit(2)
+	}
+	var dev app.Device
+	switch *deviceName {
+	case "lgv10":
+		dev = app.LGV10()
+	case "nexus5":
+		dev = app.Nexus5()
+	case "galaxys3":
+		dev = app.GalaxyS3()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *deviceName)
+		os.Exit(2)
+	}
+
+	traceActions := corpus.Trace(a, *seed, *actions)
+	det, err := buildDetector(*detName, a, dev, *seed, traceActions)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	h, err := detect.NewHarness(a, dev, *seed, det)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	var collector *trace.Collector
+	if *traceOut != "" {
+		collector = trace.NewCollector(h.Session.Clk)
+		h.Session.Sched.SetTracer(collector)
+		h.Session.Looper.AddDispatchHook(collector)
+		h.Session.AddListener(collector)
+	}
+	h.Run(traceActions, simclock.Second)
+	if collector != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := collector.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("wrote %d trace spans to %s\n", len(collector.Spans()), *traceOut)
+	}
+
+	ev := h.Evaluate(det)
+	fmt.Printf("app %s on %s: %d actions, %d bug hangs, %d UI hangs\n",
+		a.Name, dev.Name, *actions, ev.GroundTruthHangs, ev.UIHangs)
+	fmt.Printf("%s: TP=%d FP=%d FN=%d, overhead %.2f%%\n",
+		det.Name(), ev.TP, ev.FP, ev.FN, h.Overhead(det).Avg())
+	ids := ev.BugIDs()
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("  covered bug: %s\n", id)
+	}
+
+	if d, isHD := det.(*core.Doctor); isHD {
+		fmt.Println("\nresponsiveness dashboard:")
+		fmt.Print(d.Telemetry().Render())
+		fmt.Println("\nHang Bug Report:")
+		fmt.Print(d.Report().Render())
+		if *showTransitions {
+			fmt.Println("\nstate transitions:")
+			for _, tr := range d.Transitions() {
+				fmt.Printf("  %-40s %-10s %v -> %v (exec %d)\n", tr.ActionUID, tr.Phase, tr.From, tr.To, tr.ExecSeq)
+			}
+		}
+	}
+	if *offline {
+		fmt.Println("\noffline scanner findings:")
+		findings := detect.OfflineScan(a, c.Registry)
+		if len(findings) == 0 {
+			fmt.Println("  (none)")
+		}
+		for _, f := range findings {
+			tag := ""
+			if f.Op.Bug != nil {
+				tag = "  [seeded bug " + f.Op.Bug.ID + "]"
+			}
+			fmt.Printf("  %s calls %s%s\n", f.Action.UID, f.API.Key(), tag)
+		}
+	}
+}
+
+// buildDetector resolves a detector name, calibrating UT thresholds when
+// needed.
+func buildDetector(name string, a *app.App, dev app.Device, seed uint64, trace []*app.Action) (detect.Detector, error) {
+	switch name {
+	case "hd":
+		return core.New(core.Config{}), nil
+	case "ti":
+		return detect.NewTimeout(detect.PerceivableDelay), nil
+	case "utl", "uth", "utl+ti", "uth+ti":
+		low, high, err := detect.CalibrateUT(a, dev, seed+77, trace)
+		if err != nil {
+			return nil, fmt.Errorf("calibrating UT thresholds: %w", err)
+		}
+		switch name {
+		case "utl":
+			return detect.NewUtilization("UTL", low, false, 0), nil
+		case "uth":
+			return detect.NewUtilization("UTH", high, false, 0), nil
+		case "utl+ti":
+			return detect.NewUtilization("UTL", low, true, 0), nil
+		default:
+			return detect.NewUtilization("UTH", high, true, 0), nil
+		}
+	default:
+		return nil, fmt.Errorf("unknown detector %q", name)
+	}
+}

@@ -1,0 +1,61 @@
+package hangdoctor_test
+
+import (
+	"fmt"
+
+	"hangdoctor"
+)
+
+// ExampleMonitor shows the core workflow: attach Hang Doctor to an app
+// session, drive actions, and read the diagnosis.
+func ExampleMonitor() {
+	c := hangdoctor.LoadCorpus()
+	k9 := c.MustApp("K9-Mail")
+	sess, err := hangdoctor.NewSession(k9, hangdoctor.LGV10(), 42)
+	if err != nil {
+		panic(err)
+	}
+	doctor := hangdoctor.Monitor(sess, hangdoctor.Config{})
+
+	openEmail := k9.MustAction("Open Email")
+	for i := 0; i < 20; i++ {
+		sess.Perform(openEmail)
+		sess.Idle(hangdoctor.Second)
+	}
+	for _, det := range doctor.Detections() {
+		fmt.Printf("%s at %s:%d\n", det.RootCause, det.File, det.Line)
+	}
+	// Output:
+	// org.htmlcleaner.HtmlCleaner.clean at HtmlCleaner.java:25
+}
+
+// ExampleDoctor_State shows the Figure 3 state machine separating a bug
+// action from a UI-heavy action.
+func ExampleDoctor_State() {
+	c := hangdoctor.LoadCorpus()
+	k9 := c.MustApp("K9-Mail")
+	sess, _ := hangdoctor.NewSession(k9, hangdoctor.LGV10(), 42)
+	doctor := hangdoctor.Monitor(sess, hangdoctor.Config{})
+	for i := 0; i < 15; i++ {
+		sess.Perform(k9.MustAction("Open Email"))
+		sess.Idle(hangdoctor.Second)
+		sess.Perform(k9.MustAction("Folders"))
+		sess.Idle(hangdoctor.Second)
+	}
+	fmt.Println("Open Email:", doctor.State("K9-Mail/Open Email"))
+	fmt.Println("Folders:   ", doctor.State("K9-Mail/Folders"))
+	// Output:
+	// Open Email: HangBug
+	// Folders:    Normal
+}
+
+// ExampleDefaultConditions prints the paper's S-Checker filter.
+func ExampleDefaultConditions() {
+	for _, c := range hangdoctor.DefaultConditions() {
+		fmt.Printf("%s > %d\n", c.Event.Name(), c.Threshold)
+	}
+	// Output:
+	// context-switches > 0
+	// task-clock > 170000000
+	// page-faults > 500
+}

@@ -1,0 +1,58 @@
+// K9-Mail walk-through: the paper's §4.3 example, end to end, on the
+// simulated corpus app. Shows the two-phase pipeline on the HtmlCleaner
+// bug (Figure 6) and the state machine pruning the Folders/Inbox UI hangs
+// (Figure 7).
+package main
+
+import (
+	"fmt"
+
+	"hangdoctor"
+)
+
+func main() {
+	c := hangdoctor.LoadCorpus()
+	k9 := c.MustApp("K9-Mail")
+
+	sess, err := hangdoctor.NewSession(k9, hangdoctor.LGV10(), 42)
+	if err != nil {
+		panic(err)
+	}
+	doctor := hangdoctor.Monitor(sess, hangdoctor.Config{})
+
+	fmt.Println("driving 150 user actions on K9-Mail (Open Email, Inbox, Folders, ...)")
+	hangs := 0
+	for _, act := range hangdoctor.Trace(k9, 42, 150) {
+		exec := sess.Perform(act)
+		if exec.ResponseTime() > hangdoctor.PerceivableDelay {
+			hangs++
+		}
+		sess.Idle(hangdoctor.Second)
+	}
+	fmt.Printf("observed %d soft hangs\n\n", hangs)
+
+	fmt.Println("state transitions (Figure 3 / Figure 7):")
+	for _, tr := range doctor.Transitions() {
+		fmt.Printf("  %-30s %-10s %-13v -> %v (execution %d)\n",
+			tr.ActionUID, tr.Phase, tr.From, tr.To, tr.ExecSeq)
+	}
+
+	fmt.Println("\nconfirmed diagnoses (Figure 6's outcome):")
+	for _, det := range doctor.Detections() {
+		fmt.Printf("  %s\n    root cause %s (%s:%d), occurrence %.0f%%, diagnosed %d times, worst hang %v\n",
+			det.ActionUID, det.RootCause, det.File, det.Line,
+			100*det.Occurrence, det.Count, det.MaxResponse)
+	}
+
+	fmt.Println("\nHang Bug Report:")
+	fmt.Print(doctor.Report().Render())
+
+	// Offline tools now know about the APIs Hang Doctor diagnosed.
+	fmt.Println("\nnewly learned blocking APIs:")
+	for _, key := range []string{
+		"org.htmlcleaner.HtmlCleaner.clean",
+		"org.apache.james.mime4j.parser.MimeStreamParser.parse",
+	} {
+		fmt.Printf("  %-60s known=%v\n", key, c.Registry.IsKnownBlocking(key))
+	}
+}

@@ -1,0 +1,3 @@
+module hangdoctor
+
+go 1.22

@@ -1,0 +1,103 @@
+package hangdoctor
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the facade end to end: build a custom
+// app through the public API, monitor it, and confirm the diagnosis.
+func TestPublicAPIQuickstart(t *testing.T) {
+	reg := NewRegistry()
+	slowClass := reg.DefineClass("com.example.cache.DiskCache", false, "", false)
+	slowAPI := reg.DefineAPI(slowClass, "warmUp", "", 42, 0)
+	uiAPI, _ := reg.API("android.widget.TextView.setText")
+
+	bug := &Bug{ID: "Demo/1", IssueID: "1", Description: "disk cache warm-up on main thread"}
+	demo := &App{
+		Name:     "Demo",
+		Registry: reg,
+		Bugs:     []*Bug{bug},
+		Actions: []*Action{
+			{
+				Name: "Open Screen",
+				Events: []*InputEvent{{Name: "evt0", Ops: []*Op{
+					{Name: "warmUp", API: slowAPI, Heavy: IOHeavy(50*Millisecond, 10, 22*Millisecond), Manifest: 0.7, Bug: bug},
+				}}},
+			},
+			{
+				Name: "Scroll List",
+				Events: []*InputEvent{{Name: "evt0", Ops: []*Op{
+					{Name: "setText", API: uiAPI, Heavy: UIWork(120*Millisecond, 12)},
+				}}},
+			},
+		},
+	}
+
+	sess, err := NewSession(demo, LGV10(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doctor := Monitor(sess, Config{})
+	for i := 0; i < 40; i++ {
+		sess.Perform(demo.Actions[i%2])
+		sess.Idle(Second)
+	}
+
+	var found *Detection
+	for _, det := range doctor.Detections() {
+		if det.RootCause == "com.example.cache.DiskCache.warmUp" {
+			found = det
+		}
+	}
+	if found == nil {
+		t.Fatalf("custom bug not diagnosed; detections: %v", doctor.Detections())
+	}
+	if doctor.State("Demo/Scroll List") == HangBug {
+		t.Fatal("UI action misdiagnosed")
+	}
+	if !reg.IsKnownBlocking("com.example.cache.DiskCache.warmUp") {
+		t.Fatal("feedback loop did not record the new blocking API")
+	}
+	if !strings.Contains(doctor.Report().Render(), "warmUp") {
+		t.Fatal("report missing the diagnosed entry")
+	}
+}
+
+func TestPublicCorpusRoundTrip(t *testing.T) {
+	c := LoadCorpus()
+	a := c.MustApp("K9-Mail")
+	sess, err := NewSession(a, Nexus5(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execs := RunTrace(sess, Trace(a, 3, 20), Second)
+	if len(execs) != 20 {
+		t.Fatalf("execs = %d", len(execs))
+	}
+	hangs := 0
+	for _, e := range execs {
+		if e.ResponseTime() > PerceivableDelay {
+			hangs++
+		}
+	}
+	if hangs == 0 {
+		t.Fatal("no soft hangs in a K9 trace")
+	}
+}
+
+func TestDefaultConditionsMatchPaper(t *testing.T) {
+	conds := DefaultConditions()
+	if len(conds) != 3 {
+		t.Fatalf("len = %d", len(conds))
+	}
+	if conds[0].Threshold != 0 {
+		t.Errorf("ctx threshold = %d, want 0", conds[0].Threshold)
+	}
+	if conds[1].Threshold != 170_000_000 {
+		t.Errorf("task-clock threshold = %d, want 1.7e8", conds[1].Threshold)
+	}
+	if conds[2].Threshold != 500 {
+		t.Errorf("page-fault threshold = %d, want 500", conds[2].Threshold)
+	}
+}

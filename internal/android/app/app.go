@@ -1,0 +1,249 @@
+// Package app models the simulated Android applications Hang Doctor is
+// evaluated on: apps composed of user actions, each action dispatching input
+// events to the main thread, each event executing a sequence of operations
+// (UI work, API calls, self-developed code). The package also provides the
+// execution engine (Session) that runs actions on the cpu/looper/render
+// substrate with deterministic per-execution cost jitter and background
+// interference, producing the response times, counters, and sampled stacks
+// that detectors observe.
+package app
+
+import (
+	"fmt"
+
+	"hangdoctor/internal/android/api"
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/stack"
+)
+
+// Bug is the ground-truth record of a seeded soft hang bug, mirroring a row
+// of the paper's Table 5.
+type Bug struct {
+	// ID is unique within the corpus, e.g. "K9-Mail/1007-clean".
+	ID string
+	// IssueID is the tracker issue number from Table 5.
+	IssueID string
+	// Description summarizes the root cause.
+	Description string
+	// Op is the buggy operation; set by App.Finalize.
+	Op *Op
+	// Action is the action whose execution manifests the bug.
+	Action *Action
+	// App is the owning app.
+	App *App
+}
+
+// RootCauseKey returns the class.method the Diagnoser should report for this
+// bug: the leaf API, or the self-developed function.
+func (b *Bug) RootCauseKey() string { return b.Op.LeafKey() }
+
+// InputEvent is one message the action posts to the main thread.
+type InputEvent struct {
+	Name string
+	Ops  []*Op
+}
+
+// Action is a user action: the unit Hang Doctor tracks state for. The App
+// Injector assigns each action a UID at packaging time (§3.5).
+type Action struct {
+	// Name is the user-facing label ("Open Email", "Scroll Timeline").
+	Name string
+	// UID is assigned by Finalize as "<app>/<name>".
+	UID string
+	// Kind is the triggering callback ("onClick", "onScroll", "onResume").
+	Kind string
+	// Handler is the developer-callback frame that tops app-level stacks.
+	Handler stack.Frame
+	// Events are the input events posted, in order.
+	Events []*InputEvent
+	// Weight is the relative frequency in generated workloads (default 1).
+	Weight float64
+}
+
+// Ops returns all ops across the action's events, in execution order.
+func (a *Action) Ops() []*Op {
+	var out []*Op
+	for _, ev := range a.Events {
+		out = append(out, ev.Ops...)
+	}
+	return out
+}
+
+// App is one simulated application.
+type App struct {
+	Name      string
+	Commit    string
+	Category  string
+	Downloads string
+	Actions   []*Action
+	Bugs      []*Bug
+	// Registry is the API universe the app links against (shared across the
+	// corpus so the known-blocking database is global, as in the paper).
+	Registry *api.Registry
+
+	finalized bool
+}
+
+// Finalize assigns action UIDs and default handler frames, links bug
+// back-references, and validates the app. It must be called once after
+// assembly; Session construction requires it.
+func (a *App) Finalize() error {
+	if a.finalized {
+		return nil
+	}
+	if a.Name == "" {
+		return fmt.Errorf("app: missing name")
+	}
+	if a.Registry == nil {
+		return fmt.Errorf("app %s: missing registry", a.Name)
+	}
+	if len(a.Actions) == 0 {
+		return fmt.Errorf("app %s: no actions", a.Name)
+	}
+	seen := map[string]bool{}
+	for _, act := range a.Actions {
+		if act.Name == "" {
+			return fmt.Errorf("app %s: action with empty name", a.Name)
+		}
+		if seen[act.Name] {
+			return fmt.Errorf("app %s: duplicate action %q", a.Name, act.Name)
+		}
+		seen[act.Name] = true
+		act.UID = a.Name + "/" + act.Name
+		if act.Weight == 0 {
+			act.Weight = 1
+		}
+		if act.Kind == "" {
+			act.Kind = "onClick"
+		}
+		if act.Handler == (stack.Frame{}) {
+			act.Handler = stack.Frame{
+				Class:  "app." + sanitize(a.Name) + ".MainActivity",
+				Method: act.Kind + "_" + sanitize(act.Name),
+				File:   "MainActivity.java",
+				Line:   100 + len(act.Name),
+			}
+		}
+		if len(act.Events) == 0 {
+			return fmt.Errorf("app %s: action %q has no events", a.Name, act.Name)
+		}
+		for _, ev := range act.Events {
+			if len(ev.Ops) == 0 {
+				return fmt.Errorf("app %s: action %q event %q has no ops", a.Name, act.Name, ev.Name)
+			}
+			for _, op := range ev.Ops {
+				if op.Manifest == 0 {
+					op.Manifest = 1
+				}
+				if op.Bug != nil {
+					op.Bug.Op = op
+					op.Bug.Action = act
+					op.Bug.App = a
+				}
+			}
+		}
+	}
+	// Validate bug list consistency: every listed bug must be wired to an op.
+	for _, b := range a.Bugs {
+		if b.Op == nil {
+			return fmt.Errorf("app %s: bug %s not attached to any op", a.Name, b.ID)
+		}
+	}
+	a.finalized = true
+	return nil
+}
+
+// Action returns the action with the given name.
+func (a *App) Action(name string) (*Action, bool) {
+	for _, act := range a.Actions {
+		if act.Name == name {
+			return act, true
+		}
+	}
+	return nil, false
+}
+
+// MustAction returns the named action or panics; for tests and examples.
+func (a *App) MustAction(name string) *Action {
+	act, ok := a.Action(name)
+	if !ok {
+		panic(fmt.Sprintf("app %s: no action %q", a.Name, name))
+	}
+	return act
+}
+
+func sanitize(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+			out = append(out, c)
+		}
+	}
+	return string(out)
+}
+
+// Device is the hardware model an app session runs on.
+type Device struct {
+	Name string
+	// Cores is the number of big-cluster cores app threads contend on.
+	Cores int
+	// Registers is the PMU register count (6 on the LG V10).
+	Registers int
+	// BGThreads is the number of background interference threads active
+	// during an action window (system services, app workers).
+	BGThreads int
+	// BGBurst and BGGap shape each interference thread's duty cycle.
+	BGBurst simclock.Duration
+	BGGap   simclock.Duration
+	// NoiseScale scales the perf measurement-noise baselines (0 disables
+	// measurement noise entirely — used by unit tests).
+	NoiseScale float64
+	// EnvRichness scales every op's manifestation probability (0 is treated
+	// as 1). It models how much of the real-world state that triggers soft
+	// hang bugs — large mailboxes, cold caches, heavy HTML, slow flash — the
+	// environment can reproduce. In-lab test beds run well below 1, which
+	// is the paper's §4.6 argument for keeping Hang Doctor in the wild.
+	EnvRichness float64
+}
+
+// LGV10 is the paper's primary test device.
+func LGV10() Device {
+	return Device{
+		Name:       "LG V10",
+		Cores:      2,
+		Registers:  6,
+		BGThreads:  2,
+		BGBurst:    6 * simclock.Millisecond,
+		BGGap:      8 * simclock.Millisecond,
+		NoiseScale: 1,
+	}
+}
+
+// Nexus5 is a secondary device with slightly different interference.
+func Nexus5() Device {
+	d := LGV10()
+	d.Name = "Nexus 5"
+	d.BGBurst = 5 * simclock.Millisecond
+	d.BGGap = 9 * simclock.Millisecond
+	return d
+}
+
+// GalaxyS3 is an older device: fewer PMU registers, more background churn.
+func GalaxyS3() Device {
+	d := LGV10()
+	d.Name = "Galaxy S3"
+	d.Registers = 4
+	d.BGBurst = 7 * simclock.Millisecond
+	d.BGGap = 7 * simclock.Millisecond
+	return d
+}
+
+// Quiet returns a copy of d with measurement noise and background
+// interference disabled; unit tests use it for exact assertions.
+func (d Device) Quiet() Device {
+	d.BGThreads = 0
+	d.NoiseScale = 0
+	return d
+}

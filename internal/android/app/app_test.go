@@ -1,0 +1,428 @@
+package app
+
+import (
+	"testing"
+
+	"hangdoctor/internal/android/api"
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/stack"
+)
+
+// testApp builds a minimal two-action app: one with an always-manifesting
+// IO-heavy bug, one with pure UI work.
+func testApp(reg *api.Registry) *App {
+	camera, _ := reg.API("android.hardware.Camera.open")
+	setText, _ := reg.API("android.widget.TextView.setText")
+	a := &App{
+		Name:     "TestApp",
+		Commit:   "abc123",
+		Category: "Tools",
+		Registry: reg,
+	}
+	bug := &Bug{ID: "TestApp/1", IssueID: "1", Description: "camera open on main"}
+	a.Bugs = []*Bug{bug}
+	a.Actions = []*Action{
+		{
+			Name: "Open Camera",
+			Events: []*InputEvent{{
+				Name: "evt0",
+				Ops: []*Op{{
+					Name:  "open",
+					API:   camera,
+					Heavy: IOHeavy(40*simclock.Millisecond, 8, 25*simclock.Millisecond),
+					Bug:   bug,
+				}},
+			}},
+		},
+		{
+			Name: "Show Text",
+			Events: []*InputEvent{{
+				Name: "evt0",
+				Ops: []*Op{{
+					Name:  "setText",
+					API:   setText,
+					Heavy: UIWork(130*simclock.Millisecond, 14),
+				}},
+			}},
+		},
+	}
+	return a
+}
+
+func TestFinalizeAssignsUIDsAndLinksBugs(t *testing.T) {
+	reg := api.NewRegistry()
+	a := testApp(reg)
+	if err := a.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	act := a.MustAction("Open Camera")
+	if act.UID != "TestApp/Open Camera" {
+		t.Fatalf("UID = %q", act.UID)
+	}
+	if act.Handler.Class == "" {
+		t.Fatal("handler frame not defaulted")
+	}
+	b := a.Bugs[0]
+	if b.Op == nil || b.Action != act || b.App != a {
+		t.Fatalf("bug not linked: %+v", b)
+	}
+	if b.RootCauseKey() != "android.hardware.Camera.open" {
+		t.Fatalf("RootCauseKey = %q", b.RootCauseKey())
+	}
+	// Finalize is idempotent.
+	if err := a.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFinalizeValidation(t *testing.T) {
+	reg := api.NewRegistry()
+	cases := []struct {
+		name string
+		mut  func(*App)
+	}{
+		{"no actions", func(a *App) { a.Actions = nil }},
+		{"duplicate action", func(a *App) { a.Actions = append(a.Actions, a.Actions[0]) }},
+		{"empty event ops", func(a *App) { a.Actions[0].Events[0].Ops = nil }},
+		{"unattached bug", func(a *App) { a.Actions[0].Events[0].Ops[0].Bug = nil }},
+	}
+	for _, tc := range cases {
+		a := testApp(reg)
+		tc.mut(a)
+		if err := a.Finalize(); err == nil {
+			t.Errorf("%s: Finalize accepted invalid app", tc.name)
+		}
+	}
+}
+
+func TestVisibleAPIsClosedSourceBoundary(t *testing.T) {
+	reg := api.NewRegistry()
+	sqlite, _ := reg.API("android.database.sqlite.SQLiteDatabase.insertWithOnConflict")
+	cupboardClass := reg.DefineClass("nl.qbusict.cupboard.Cupboard", false, "cupboard", true)
+	cupboardGet := reg.DefineAPI(cupboardClass, "get", "", 210, 0)
+
+	// Known blocking API nested inside a closed-source wrapper: offline sees
+	// only the wrapper.
+	op := &Op{Name: "get", API: sqlite, Via: []*api.API{cupboardGet}}
+	vis := op.VisibleAPIs()
+	if len(vis) != 1 || vis[0] != cupboardGet {
+		t.Fatalf("visible = %v, want just cupboard.get", vis)
+	}
+
+	// Same nesting through an open-source wrapper: the inner call is visible.
+	openClass := reg.DefineClass("org.open.Helper", false, "helper", false)
+	openWrap := reg.DefineAPI(openClass, "store", "", 5, 0)
+	op2 := &Op{Name: "store", API: sqlite, Via: []*api.API{openWrap}}
+	if vis := op2.VisibleAPIs(); len(vis) != 2 || vis[1] != sqlite {
+		t.Fatalf("visible = %v, want wrapper+sqlite", vis)
+	}
+
+	// Self-developed op: nothing for an offline scanner to match.
+	op3 := &Op{Name: "loop", Self: &stack.Frame{Class: "app.X", Method: "heavyLoop"}}
+	if vis := op3.VisibleAPIs(); vis != nil {
+		t.Fatalf("self op visible = %v, want nil", vis)
+	}
+}
+
+func TestIsUI(t *testing.T) {
+	reg := api.NewRegistry()
+	setText, _ := reg.API("android.widget.TextView.setText")
+	camera, _ := reg.API("android.hardware.Camera.open")
+	if !(&Op{API: setText}).IsUI(reg) {
+		t.Fatal("setText should be UI")
+	}
+	if (&Op{API: camera}).IsUI(reg) {
+		t.Fatal("camera.open should not be UI")
+	}
+	if (&Op{Self: &stack.Frame{Class: "a.B", Method: "m"}}).IsUI(reg) {
+		t.Fatal("self op should not be UI")
+	}
+}
+
+func TestPerformResponseTimeQuietDevice(t *testing.T) {
+	reg := api.NewRegistry()
+	a := testApp(reg)
+	s, err := NewSession(a, LGV10().Quiet(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := s.Perform(a.MustAction("Open Camera"))
+	// IOHeavy(40ms CPU, 8 x 25ms blocks): ~240ms median, jittered.
+	rt := exec.ResponseTime()
+	if rt < 120*simclock.Millisecond || rt > 600*simclock.Millisecond {
+		t.Fatalf("bug action response = %v, want a perceivable hang in [120ms,600ms]", rt)
+	}
+	if exec.BugCaused(100*simclock.Millisecond) == nil {
+		t.Fatal("always-manifesting bug not recorded as heavy")
+	}
+	if exec.End.Sub(exec.Start) < rt {
+		t.Fatal("action window shorter than its response time")
+	}
+}
+
+func TestPerformUIActionGroundTruth(t *testing.T) {
+	reg := api.NewRegistry()
+	a := testApp(reg)
+	s, err := NewSession(a, LGV10().Quiet(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := s.Perform(a.MustAction("Show Text"))
+	if exec.BugCaused(100*simclock.Millisecond) != nil {
+		t.Fatal("UI action misattributed to a bug")
+	}
+	// Render work extends the action window past the main-thread response.
+	if exec.End.Sub(exec.Start) <= exec.ResponseTime() {
+		t.Fatalf("action window %v should exceed response %v (render drain)",
+			exec.End.Sub(exec.Start), exec.ResponseTime())
+	}
+	// UI work must still be a perceivable hang for Table 2's false positives.
+	if exec.ResponseTime() < 100*simclock.Millisecond {
+		t.Fatalf("UI response = %v, want >100ms", exec.ResponseTime())
+	}
+}
+
+func TestListenersFireInOrder(t *testing.T) {
+	reg := api.NewRegistry()
+	a := testApp(reg)
+	s, _ := NewSession(a, LGV10().Quiet(), 3)
+	var trace []string
+	s.AddListener(funcListener{
+		onActionStart: func(e *ActionExec) { trace = append(trace, "AS") },
+		onEventStart:  func(e *ActionExec, ev *EventExec) { trace = append(trace, "ES") },
+		onEventEnd:    func(e *ActionExec, ev *EventExec) { trace = append(trace, "EE") },
+		onActionEnd:   func(e *ActionExec) { trace = append(trace, "AE") },
+	})
+	s.Perform(a.MustAction("Open Camera"))
+	want := "AS ES EE AE"
+	got := ""
+	for i, s := range trace {
+		if i > 0 {
+			got += " "
+		}
+		got += s
+	}
+	if got != want {
+		t.Fatalf("listener order = %q, want %q", got, want)
+	}
+}
+
+type funcListener struct {
+	onActionStart func(*ActionExec)
+	onEventStart  func(*ActionExec, *EventExec)
+	onEventEnd    func(*ActionExec, *EventExec)
+	onActionEnd   func(*ActionExec)
+}
+
+func (f funcListener) ActionStart(e *ActionExec) {
+	if f.onActionStart != nil {
+		f.onActionStart(e)
+	}
+}
+func (f funcListener) EventStart(e *ActionExec, ev *EventExec) {
+	if f.onEventStart != nil {
+		f.onEventStart(e, ev)
+	}
+}
+func (f funcListener) EventEnd(e *ActionExec, ev *EventExec) {
+	if f.onEventEnd != nil {
+		f.onEventEnd(e, ev)
+	}
+}
+func (f funcListener) ActionEnd(e *ActionExec) {
+	if f.onActionEnd != nil {
+		f.onActionEnd(e)
+	}
+}
+
+func TestDeterministicReplay(t *testing.T) {
+	reg := api.NewRegistry()
+	run := func() []simclock.Duration {
+		a := testApp(reg)
+		s, _ := NewSession(a, LGV10(), 42)
+		var rts []simclock.Duration
+		for i := 0; i < 5; i++ {
+			exec := s.Perform(a.MustAction("Open Camera"))
+			rts = append(rts, exec.ResponseTime())
+			s.Idle(simclock.Second)
+		}
+		return rts
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Jitter means not all executions are identical.
+	allSame := true
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("expected per-execution jitter in response times")
+	}
+}
+
+func TestOccasionalManifestation(t *testing.T) {
+	reg := api.NewRegistry()
+	camera, _ := reg.API("android.hardware.Camera.open")
+	bug := &Bug{ID: "X/1", IssueID: "1"}
+	a := &App{
+		Name:     "Occasional",
+		Registry: reg,
+		Bugs:     []*Bug{bug},
+		Actions: []*Action{{
+			Name: "Act",
+			Events: []*InputEvent{{Name: "e", Ops: []*Op{{
+				Name:     "open",
+				API:      camera,
+				Heavy:    IOHeavy(40*simclock.Millisecond, 8, 30*simclock.Millisecond),
+				Manifest: 0.3,
+				Bug:      bug,
+			}}}},
+		}},
+	}
+	s, err := NewSession(a, LGV10().Quiet(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	manifested, benign := 0, 0
+	for i := 0; i < 60; i++ {
+		exec := s.Perform(a.Actions[0])
+		if exec.BugCaused(100*simclock.Millisecond) != nil {
+			manifested++
+		} else {
+			benign++
+		}
+		s.Idle(500 * simclock.Millisecond)
+	}
+	if manifested == 0 || benign == 0 {
+		t.Fatalf("manifested=%d benign=%d; want a mix at p=0.3", manifested, benign)
+	}
+	if manifested > benign {
+		t.Fatalf("manifested=%d > benign=%d at p=0.3", manifested, benign)
+	}
+}
+
+func TestInterferenceProducesPreemption(t *testing.T) {
+	reg := api.NewRegistry()
+	a := testApp(reg)
+	// Replace the bug op with a pure CPU loop to measure preemption.
+	a.Actions[0].Events[0].Ops[0] = &Op{
+		Name:  "loop",
+		Self:  &stack.Frame{Class: "app.TestApp.Worker", Method: "heavyLoop", File: "Worker.java", Line: 12},
+		Heavy: CPULoop(400 * simclock.Millisecond),
+	}
+	a.Bugs = nil
+	s, _ := NewSession(a, LGV10(), 11)
+	before := s.MainThread().Counters()
+	s.Perform(a.MustAction("Open Camera"))
+	d := s.MainThread().Counters().Sub(before)
+	if d.InvoluntaryCtxSwitch < 5 {
+		t.Fatalf("involuntary switches = %d; background interference should preempt a 400ms loop", d.InvoluntaryCtxSwitch)
+	}
+}
+
+func TestCostModelArchetypeSignatures(t *testing.T) {
+	// Verify each archetype produces its designed counter signature on the
+	// main-minus-render difference (cf. Table 6 signatures).
+	reg := api.NewRegistry()
+	camera, _ := reg.API("android.hardware.Camera.open")
+	setText, _ := reg.API("android.widget.TextView.setText")
+
+	type want struct {
+		ctxPositive bool
+		taskAbove   bool // > 1.7e8 ns
+		pfAbove     bool // > 500
+	}
+	cases := []struct {
+		name string
+		op   *Op
+		ui   *Op // optional concurrent UI op in the same action
+		want want
+	}{
+		{
+			name: "IOHeavy trips only ctx",
+			op:   &Op{Name: "open", API: camera, Heavy: IOHeavy(50*simclock.Millisecond, 12, 20*simclock.Millisecond)},
+			want: want{ctxPositive: true},
+		},
+		{
+			name: "CPULoop trips ctx+task",
+			op:   &Op{Name: "loop", Self: &stack.Frame{Class: "a.W", Method: "loop"}, Heavy: CPULoop(400 * simclock.Millisecond)},
+			want: want{ctxPositive: true, taskAbove: true},
+		},
+		{
+			name: "ParseHeavy trips all three",
+			op:   &Op{Name: "clean", Self: &stack.Frame{Class: "a.P", Method: "parse"}, Heavy: ParseHeavy(500 * simclock.Millisecond)},
+			want: want{ctxPositive: true, taskAbove: true, pfAbove: true},
+		},
+		{
+			name: "MemHeavy with UI sibling trips only pf",
+			op:   &Op{Name: "db", Self: &stack.Frame{Class: "a.D", Method: "load"}, Heavy: MemHeavy(60*simclock.Millisecond, 2, 90*simclock.Millisecond, 25000)},
+			ui:   &Op{Name: "list", API: setText, Heavy: UIWork(40*simclock.Millisecond, 14)},
+			want: want{pfAbove: true},
+		},
+		{
+			name: "UIWork trips nothing",
+			op:   &Op{Name: "setText", API: setText, Heavy: UIWork(150*simclock.Millisecond, 16)},
+			want: want{},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ops := []*Op{tc.op}
+			if tc.ui != nil {
+				ops = append(ops, tc.ui)
+			}
+			a := &App{
+				Name:     "Sig",
+				Registry: reg,
+				Actions: []*Action{{
+					Name:   "act",
+					Events: []*InputEvent{{Name: "e", Ops: ops}},
+				}},
+			}
+			// Noisy interference on, measurement noise off, to check the
+			// mechanical (pre-noise) signature. Majority vote over runs.
+			dev := LGV10()
+			dev.NoiseScale = 0
+			s, err := NewSession(a, dev, 19)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const runs = 9
+			ctxHits, taskHits, pfHits := 0, 0, 0
+			for i := 0; i < runs; i++ {
+				mBefore := s.MainThread().Counters()
+				rBefore := s.RenderThread().Counters()
+				s.Perform(a.Actions[0])
+				m := s.MainThread().Counters().Sub(mBefore)
+				r := s.RenderThread().Counters().Sub(rBefore)
+				if m.CtxSwitches()-r.CtxSwitches() > 0 {
+					ctxHits++
+				}
+				if m.TaskClock-r.TaskClock > 170_000_000 {
+					taskHits++
+				}
+				if m.PageFaults()-r.PageFaults() > 500 {
+					pfHits++
+				}
+				s.Idle(time500)
+			}
+			check := func(name string, hits int, want bool) {
+				major := hits > runs/2
+				if major != want {
+					t.Errorf("%s: hits=%d/%d, want majority=%v", name, hits, runs, want)
+				}
+			}
+			check("ctx", ctxHits, tc.want.ctxPositive)
+			check("task", taskHits, tc.want.taskAbove)
+			check("pf", pfHits, tc.want.pfAbove)
+		})
+	}
+}
+
+const time500 = 500 * simclock.Millisecond

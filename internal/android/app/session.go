@@ -1,0 +1,414 @@
+package app
+
+import (
+	"fmt"
+
+	"hangdoctor/internal/android/looper"
+	"hangdoctor/internal/android/render"
+	"hangdoctor/internal/cpu"
+	"hangdoctor/internal/perf"
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/simrand"
+	"hangdoctor/internal/stack"
+)
+
+// EventExec records one input event's dispatch on the main thread.
+type EventExec struct {
+	Name  string
+	Index int
+	Start simclock.Time
+	End   simclock.Time
+	Done  bool
+	// Exec is the owning action execution.
+	Exec *ActionExec
+}
+
+// ResponseTime returns the dispatch duration (End-Start); for an unfinished
+// event it returns the time elapsed so far relative to now being unknown,
+// i.e. zero until Done.
+func (e *EventExec) ResponseTime() simclock.Duration {
+	if !e.Done {
+		return 0
+	}
+	return e.End.Sub(e.Start)
+}
+
+// HeavyOp records that an op manifested its heavy cost during an execution,
+// with the planned main-thread duration (CPU + blocking) it was given.
+type HeavyOp struct {
+	Op  *Op
+	Dur simclock.Duration
+}
+
+// ActionExec records one execution of an action: timing, per-event response
+// times, and the ground-truth set of manifested heavy operations (which the
+// evaluation harness uses to label hangs as bug-caused or UI-caused; a real
+// deployment has no access to this).
+type ActionExec struct {
+	Action *Action
+	Seq    int
+	Start  simclock.Time
+	End    simclock.Time
+	Events []*EventExec
+	Heavy  []HeavyOp
+}
+
+// ResponseTime returns the action's response time: the maximum input-event
+// response time, per the paper's definition (§2.2).
+func (a *ActionExec) ResponseTime() simclock.Duration {
+	var max simclock.Duration
+	for _, e := range a.Events {
+		if rt := e.ResponseTime(); rt > max {
+			max = rt
+		}
+	}
+	return max
+}
+
+// BugCaused returns the manifested bug op with the longest planned duration
+// at or above minDur, or nil. This is the evaluation ground truth for
+// whether a soft hang of this execution is attributable to a soft hang bug.
+func (a *ActionExec) BugCaused(minDur simclock.Duration) *Bug {
+	var best *Bug
+	var bestDur simclock.Duration
+	for _, h := range a.Heavy {
+		if h.Op.Bug != nil && h.Dur >= minDur && h.Dur > bestDur {
+			best = h.Op.Bug
+			bestDur = h.Dur
+		}
+	}
+	return best
+}
+
+// Listener observes action lifecycle events; detectors implement it.
+type Listener interface {
+	ActionStart(*ActionExec)
+	EventStart(*ActionExec, *EventExec)
+	EventEnd(*ActionExec, *EventExec)
+	ActionEnd(*ActionExec)
+}
+
+// Session executes an app's actions on a simulated device.
+type Session struct {
+	App    *App
+	Device Device
+
+	Clk    *simclock.Clock
+	Sched  *cpu.Scheduler
+	Looper *looper.Looper
+	Render *render.Thread
+
+	rng      *simrand.Rand
+	noise    *perf.NoiseModel
+	perfRng  *simrand.Rand
+	listener []Listener
+
+	execCount map[string]int
+	current   *ActionExec
+
+	bg     []*cpu.Thread
+	bgStop bool
+}
+
+// NewSession builds the full simulated stack for one app on one device.
+// The app must be finalized. seed determines every random choice of the
+// session (jitter, manifestation, interference, measurement noise).
+func NewSession(a *App, dev Device, seed uint64) (*Session, error) {
+	if dev.Cores <= 0 {
+		return nil, fmt.Errorf("app: device %q has no cores", dev.Name)
+	}
+	clk := simclock.New()
+	sched := cpu.New(clk, dev.Cores)
+	return NewSessionOn(clk, sched, a, dev, simrand.New(seed))
+}
+
+// NewSessionOn builds a session on an existing clock and scheduler, so
+// several apps can share one simulated kernel (the multi-app device of
+// internal/system). The caller owns rng; the session derives a private
+// sub-stream from it.
+func NewSessionOn(clk *simclock.Clock, sched *cpu.Scheduler, a *App, dev Device, rng *simrand.Rand) (*Session, error) {
+	if err := a.Finalize(); err != nil {
+		return nil, err
+	}
+	s := &Session{
+		App:       a,
+		Device:    dev,
+		Clk:       clk,
+		Sched:     sched,
+		Looper:    looper.New(sched, "main:"+a.Name),
+		Render:    render.New(sched),
+		rng:       rng.Derive("session/" + a.Name),
+		execCount: map[string]int{},
+	}
+	if dev.NoiseScale > 0 {
+		s.noise = perf.DefaultNoise(s.rng.Derive("noise"))
+		s.noise.BaseScale = dev.NoiseScale
+	}
+	s.perfRng = s.rng.Derive("perf")
+	s.Looper.AddDispatchHook(sessionHook{s})
+	return s, nil
+}
+
+// MainThread returns the app's main thread.
+func (s *Session) MainThread() *cpu.Thread { return s.Looper.Thread() }
+
+// RenderThread returns the render thread.
+func (s *Session) RenderThread() *cpu.Thread { return s.Render.CPUThread() }
+
+// PerfConfig returns the perf session configuration matching this device
+// (register count, measurement-noise model, deterministic RNG).
+func (s *Session) PerfConfig() perf.Config {
+	regs := s.Device.Registers
+	if regs == 0 {
+		regs = perf.DefaultRegisters
+	}
+	return perf.Config{Registers: regs, Noise: s.noise, Rng: s.perfRng}
+}
+
+// AddListener attaches a lifecycle observer (typically a detector).
+func (s *Session) AddListener(l Listener) { s.listener = append(s.listener, l) }
+
+// Current returns the in-flight action execution, or nil between actions.
+func (s *Session) Current() *ActionExec { return s.current }
+
+// sessionHook adapts looper dispatch boundaries to Listener event calls.
+type sessionHook struct{ s *Session }
+
+func (h sessionHook) DispatchStart(m *looper.Message, at simclock.Time) {
+	ev, ok := m.Meta.(*EventExec)
+	if !ok {
+		return
+	}
+	ev.Start = at
+	for _, l := range h.s.listener {
+		l.EventStart(ev.Exec, ev)
+	}
+}
+
+func (h sessionHook) DispatchEnd(m *looper.Message, start, end simclock.Time) {
+	ev, ok := m.Meta.(*EventExec)
+	if !ok {
+		return
+	}
+	ev.End = end
+	ev.Done = true
+	for _, l := range h.s.listener {
+		l.EventEnd(ev.Exec, ev)
+	}
+}
+
+// Idle advances simulated time by d with the device quiescent (user think
+// time between actions). Pending events in that window (detector timers,
+// leftover wakeups) do fire.
+func (s *Session) Idle(d simclock.Duration) {
+	s.Clk.RunUntil(s.Clk.Now().Add(d))
+}
+
+// Perform executes one action to completion: posts its input events, runs
+// the simulation until the main thread, the render thread, and the message
+// queue are all idle (the paper's "none of the two threads execute" action
+// boundary), and returns the execution record.
+func (s *Session) Perform(act *Action) *ActionExec {
+	if s.current != nil {
+		panic("app: Perform re-entered while an action is in flight")
+	}
+	exec := &ActionExec{
+		Action: act,
+		Seq:    s.execCount[act.UID],
+		Start:  s.Clk.Now(),
+	}
+	s.execCount[act.UID]++
+	s.current = exec
+	s.startInterference()
+	for _, l := range s.listener {
+		l.ActionStart(exec)
+	}
+	for i, ie := range act.Events {
+		ev := &EventExec{Name: ie.Name, Index: i, Exec: exec}
+		exec.Events = append(exec.Events, ev)
+		msg := &looper.Message{
+			Name:     act.UID + "/" + ie.Name,
+			Segments: s.buildSegments(act, ie, exec),
+			Meta:     ev,
+		}
+		s.Looper.Post(msg)
+	}
+	guard := 0
+	for !s.actionDone() {
+		if !s.Clk.Step() {
+			panic(fmt.Sprintf("app: simulation stalled during action %s", act.UID))
+		}
+		guard++
+		if guard > 5_000_000 {
+			panic(fmt.Sprintf("app: action %s exceeded event budget", act.UID))
+		}
+	}
+	s.stopInterference()
+	exec.End = s.Clk.Now()
+	s.current = nil
+	for _, l := range s.listener {
+		l.ActionEnd(exec)
+	}
+	return exec
+}
+
+// actionDone reports whether both threads have drained.
+func (s *Session) actionDone() bool {
+	return s.Looper.Idle() &&
+		s.MainThread().State() == cpu.Waiting &&
+		s.Render.Idle() &&
+		s.RenderThread().State() == cpu.Waiting
+}
+
+// buildSegments turns an input event's ops into the main-thread program,
+// drawing this execution's manifestation and jitter, and recording heavy
+// ops into exec.
+func (s *Session) buildSegments(act *Action, ie *InputEvent, exec *ActionExec) []cpu.Segment {
+	rich := s.Device.EnvRichness
+	if rich == 0 {
+		rich = 1
+	}
+	var segs []cpu.Segment
+	for _, op := range ie.Ops {
+		manifest := op.Manifest
+		if manifest < 1 {
+			// Environment-dependent ops manifest less often in a poorer
+			// environment; always-heavy ops (UI work) are unaffected.
+			manifest *= rich
+		}
+		heavy := s.rng.Bool(manifest)
+		cost := op.Heavy
+		if !heavy {
+			if op.Light != nil {
+				cost = *op.Light
+			} else {
+				cost = defaultLightCost()
+			}
+		}
+		f := s.rng.Jitter(1, cost.Jitter)
+		opSegs, mainDur := s.opSegments(act, op, cost, f)
+		segs = append(segs, opSegs...)
+		if heavy {
+			exec.Heavy = append(exec.Heavy, HeavyOp{Op: op, Dur: mainDur})
+		}
+	}
+	return segs
+}
+
+// defaultLightCost is the benign execution of an occasionally-manifesting
+// op: a few milliseconds of plain work.
+func defaultLightCost() CostModel {
+	return CostModel{CPU: 3 * simclock.Millisecond, Jitter: 0.3,
+		MinorFaultsPerSec: 500, InstructionsPerSec: 1.0e9}
+}
+
+// frameworkFrames are the constant outermost frames of any main-thread
+// dispatch stack.
+var frameworkFrames = []stack.Frame{
+	{Class: "android.os.Handler", Method: "dispatchMessage", File: "Handler.java", Line: 106},
+	{Class: "android.os.Looper", Method: "loop", File: "Looper.java", Line: 193},
+}
+
+// opSegments builds the scheduler program for one op at the given cost and
+// jitter factor, returning the program and the planned main-thread duration.
+func (s *Session) opSegments(act *Action, op *Op, cost CostModel, f float64) ([]cpu.Segment, simclock.Duration) {
+	rates := cost.rates()
+
+	// callerStack: the handler running its own code around the leaf call.
+	callerFrames := append([]stack.Frame{act.Handler}, frameworkFrames...)
+	callerStack := stack.New(callerFrames...)
+
+	// fullStack: leaf API (or self code), wrapper chain, handler, framework.
+	var leafFrames []stack.Frame
+	leafFrames = append(leafFrames, op.LeafFrame())
+	for i := len(op.Via) - 1; i >= 0; i-- {
+		leafFrames = append(leafFrames, op.Via[i].Frame())
+	}
+	fullStack := stack.New(append(leafFrames, callerFrames...)...)
+
+	cpuTotal := simclock.Duration(float64(cost.CPU) * f)
+	pre := simclock.Duration(float64(cpuTotal) * cost.preShare() / 2)
+	post := pre
+	mid := cpuTotal - pre - post
+	if mid < 0 {
+		mid = 0
+	}
+	blockEach := simclock.Duration(float64(cost.BlockEach) * f)
+	mainDur := cpuTotal + simclock.Duration(cost.Blocks)*blockEach
+
+	var segs []cpu.Segment
+	if pre > 0 {
+		segs = append(segs, cpu.Compute{Dur: pre, Rates: rates, Stack: callerStack})
+	}
+	if cost.Blocks > 0 {
+		chunk := mid / simclock.Duration(cost.Blocks+1)
+		segs = append(segs, cpu.Compute{Dur: chunk, Rates: rates, Stack: fullStack})
+		for i := 0; i < cost.Blocks; i++ {
+			segs = append(segs,
+				cpu.Block{Dur: blockEach, Stack: fullStack},
+				cpu.Compute{Dur: chunk, Rates: rates, Stack: fullStack},
+			)
+		}
+	} else if mid > 0 {
+		segs = append(segs, cpu.Compute{Dur: mid, Rates: rates, Stack: fullStack})
+	}
+	if post > 0 {
+		segs = append(segs, cpu.Compute{Dur: post, Rates: rates, Stack: callerStack})
+	}
+	if cost.Frames > 0 && cost.PerFrame > 0 {
+		// Render cost varies per execution independently of the main-thread
+		// jitter: frame complexity depends on what actually changed on
+		// screen, not on how long the handler ran.
+		rf := s.rng.Jitter(f, 0.18)
+		batch := render.FrameBatch{
+			Frames:   cost.Frames,
+			PerFrame: simclock.Duration(float64(cost.PerFrame) * rf),
+			Rates:    renderRates(),
+		}
+		segs = append(segs, cpu.Call{Fn: func() { s.Render.Post(batch) }})
+	}
+	return segs, mainDur
+}
+
+// startInterference spins up the device's background threads for the action
+// window: system services and app workers whose bursts preempt the app
+// threads, producing the involuntary context switches long main-thread
+// computations accumulate on a real phone.
+func (s *Session) startInterference() {
+	s.bgStop = false
+	if s.Device.BGThreads <= 0 {
+		return
+	}
+	s.bg = s.bg[:0]
+	for i := 0; i < s.Device.BGThreads; i++ {
+		th := s.Sched.NewThread(fmt.Sprintf("bg%d", i))
+		rng := s.rng.Derive(fmt.Sprintf("bg/%d/%d", i, s.Clk.Now()))
+		burst, gap := s.Device.BGBurst, s.Device.BGGap
+		th.SetOnIdle(func() {
+			if s.bgStop {
+				return
+			}
+			th.Enqueue(
+				cpu.Block{Dur: simclock.Duration(rng.Jitter(float64(gap), 0.4))},
+				cpu.Compute{
+					Dur:   simclock.Duration(rng.Jitter(float64(burst), 0.4)),
+					Rates: defaultLightCost().rates(),
+				},
+			)
+		})
+		// Kick the loop.
+		th.Enqueue(cpu.Block{Dur: simclock.Duration(rng.Jitter(float64(gap)/2, 0.4))})
+		s.bg = append(s.bg, th)
+	}
+}
+
+// stopInterference tears the background threads down at action end.
+func (s *Session) stopInterference() {
+	s.bgStop = true
+	for _, th := range s.bg {
+		if th.State() != cpu.Dead {
+			th.Exit()
+		}
+	}
+	s.bg = s.bg[:0]
+}

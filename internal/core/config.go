@@ -1,0 +1,116 @@
+// Package core implements Hang Doctor, the paper's contribution: a runtime
+// two-phase soft-hang detector that runs inside an app. Phase one
+// (S-Checker) reads three performance-event counters as main-minus-render
+// differences at the end of every Uncategorized action that hangs and
+// filters out UI-caused hangs cheaply; phase two (Diagnoser) collects main
+// thread stack traces during the next hang of a Suspicious action and
+// attributes the root cause by occurrence-factor analysis. Diagnosed
+// blocking APIs flow into the Hang Bug Report for the developer and into
+// the known-blocking database used by offline tools.
+package core
+
+import (
+	"hangdoctor/internal/perf"
+	"hangdoctor/internal/simclock"
+)
+
+// Condition is one S-Checker symptom: the event's main-minus-render
+// difference over the action window exceeds Threshold.
+type Condition struct {
+	Event     perf.Event
+	Threshold int64
+}
+
+// DefaultConditions returns the paper's three soft-hang-bug symptoms
+// (§3.3.1): positive context-switch difference, task-clock difference above
+// 1.7e8 ns, page-fault difference above 500.
+func DefaultConditions() []Condition {
+	return []Condition{
+		{Event: perf.ContextSwitches, Threshold: 0},
+		{Event: perf.TaskClock, Threshold: 170_000_000},
+		{Event: perf.PageFaults, Threshold: 500},
+	}
+}
+
+// Config parameterizes a Doctor. The zero value is completed by
+// (*Config).withDefaults; Doctor constructors call it for you.
+type Config struct {
+	// PerceivableDelay is the soft-hang threshold (default 100 ms).
+	PerceivableDelay simclock.Duration
+	// Conditions are the S-Checker symptoms (default: the paper's three).
+	Conditions []Condition
+	// SamplePeriod is the Diagnoser's stack sampling interval (default
+	// 20 ms, ~60 samples over the paper's 1.3 s example hang).
+	SamplePeriod simclock.Duration
+	// OccurrenceHigh is the occurrence-factor threshold above which a
+	// single API is reported as the root cause (default 0.5).
+	OccurrenceHigh float64
+	// MinTraces is the minimum number of stack samples required before the
+	// Trace Analyzer renders a verdict (default 3): an occurrence factor
+	// computed from one or two samples of a borderline ~100 ms hang says
+	// nothing, and the action stays Suspicious until a longer hang is
+	// captured.
+	MinTraces int
+	// ResetEvery returns a Normal action to Uncategorized after this many
+	// executions, so occasionally-manifesting bugs get re-checked (default
+	// 20, as in the paper's EventBreak reference; 0 disables).
+	ResetEvery int
+
+	// Ablation switches (all default off; used by the ablation benches).
+
+	// MainThreadOnly evaluates conditions on main-thread counters alone
+	// instead of main-minus-render differences (Table 3(b) configuration).
+	MainThreadOnly bool
+	// Phase1Only skips the Diagnoser: S-Checker verdicts are final, and
+	// suspicious actions are reported without stack-trace confirmation.
+	Phase1Only bool
+	// Phase2Only skips the S-Checker: every soft hang is stack-traced and
+	// diagnosed (the overhead profile of a Timeout-based detector with
+	// Hang Doctor's analyzer bolted on).
+	Phase2Only bool
+	// EarlyRead, when positive, makes S-Checker read the counters this long
+	// after the action starts instead of at action end — the strategy §3.3.1
+	// rejects because early windows of UI actions look like bugs (Figure 5).
+	EarlyRead simclock.Duration
+	// CollectAdaptation records labeled S-Checker readings for the
+	// automatic filter adaptation extension (see adapt.go).
+	CollectAdaptation bool
+	// WideCollectEvery, when positive, runs the §3.3.1 periodic
+	// data-collection task: every Nth action execution (independent of the
+	// action's state), Hang Doctor measures the full candidate-event set
+	// and samples stack traces during any soft hang, producing labeled
+	// HeavyReadings for the heavy (server-side) adaptation pass. The
+	// period should be long enough that the extra overhead is negligible.
+	WideCollectEvery int
+}
+
+func (c Config) withDefaults() Config {
+	if c.PerceivableDelay == 0 {
+		c.PerceivableDelay = 100 * simclock.Millisecond
+	}
+	if c.Conditions == nil {
+		c.Conditions = DefaultConditions()
+	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = 20 * simclock.Millisecond
+	}
+	if c.OccurrenceHigh == 0 {
+		c.OccurrenceHigh = 0.5
+	}
+	if c.MinTraces == 0 {
+		c.MinTraces = 3
+	}
+	if c.ResetEvery == 0 {
+		c.ResetEvery = 20
+	}
+	return c
+}
+
+// conditionEvents lists the events the S-Checker must monitor.
+func (c Config) conditionEvents() []perf.Event {
+	out := make([]perf.Event, len(c.Conditions))
+	for i, cond := range c.Conditions {
+		out[i] = cond.Event
+	}
+	return out
+}

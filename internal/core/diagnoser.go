@@ -1,0 +1,131 @@
+package core
+
+import (
+	"sort"
+	"strings"
+
+	"hangdoctor/internal/android/api"
+	"hangdoctor/internal/stack"
+)
+
+// Diagnosis is the Trace Analyzer's verdict on one traced soft hang.
+type Diagnosis struct {
+	// RootCause is the class.method held responsible.
+	RootCause string
+	// File/Line locate the root cause in source, as reported to the
+	// developer (Figure 6(b)).
+	File string
+	Line int
+	// Occurrence is the fraction of collected stack traces containing the
+	// root cause.
+	Occurrence float64
+	// IsUI marks legitimate UI work (not a soft hang bug).
+	IsUI bool
+	// ViaCaller is set when the root cause is a caller function aggregating
+	// many light operations (the self-developed heavy-operation case).
+	ViaCaller bool
+}
+
+// frameworkClass reports whether a class is main-loop plumbing that can
+// never be a root cause (it tops every main-thread stack).
+func frameworkClass(cls string) bool {
+	return cls == "android.os.Handler" || cls == "android.os.Looper" ||
+		strings.HasPrefix(cls, "com.android.internal.os.")
+}
+
+// AnalyzeTraces implements the Trace Analyzer (§3.4.1): compute the
+// occurrence factor of the most frequent leaf operation across the sampled
+// stacks; if it is high, that operation is the root cause; otherwise the
+// hang is many light operations driven by one caller, and the most common
+// non-framework caller function with a high occurrence factor is reported
+// instead. UI-class root causes are flagged so the Diagnoser can transition
+// the action to Normal. The boolean result is false when no usable samples
+// were collected.
+func AnalyzeTraces(traces []*stack.Stack, reg *api.Registry, occHigh float64) (Diagnosis, bool) {
+	type info struct {
+		count int
+		frame stack.Frame
+		depth int // cumulative frame index, for closest-to-leaf tie-breaks
+	}
+	leaf := map[string]*info{}
+	caller := map[string]*info{}
+	total := 0
+	for _, tr := range traces {
+		if tr.Depth() == 0 {
+			continue
+		}
+		total++
+		lf := tr.Leaf()
+		if li := leaf[lf.Key()]; li != nil {
+			li.count++
+		} else {
+			leaf[lf.Key()] = &info{count: 1, frame: lf}
+		}
+		seen := map[string]bool{lf.Key(): true}
+		for i := 1; i < len(tr.Frames); i++ {
+			f := tr.Frames[i]
+			if frameworkClass(f.Class) || seen[f.Key()] {
+				continue
+			}
+			seen[f.Key()] = true
+			if ci := caller[f.Key()]; ci != nil {
+				ci.count++
+				ci.depth += i
+			} else {
+				caller[f.Key()] = &info{count: 1, frame: f, depth: i}
+			}
+		}
+	}
+	if total == 0 {
+		return Diagnosis{}, false
+	}
+
+	pick := func(m map[string]*info) (string, *info) {
+		var bestKey string
+		var best *info
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			i := m[k]
+			if best == nil || i.count > best.count ||
+				(i.count == best.count && i.depth < best.depth) {
+				best, bestKey = i, k
+			}
+		}
+		return bestKey, best
+	}
+
+	leafKey, leafInfo := pick(leaf)
+	d := Diagnosis{
+		RootCause:  leafKey,
+		File:       leafInfo.frame.File,
+		Line:       leafInfo.frame.Line,
+		Occurrence: float64(leafInfo.count) / float64(total),
+	}
+	if d.Occurrence < occHigh && len(caller) > 0 {
+		callerKey, callerInfo := pick(caller)
+		callerOcc := float64(callerInfo.count) / float64(total)
+		if callerOcc >= occHigh {
+			d = Diagnosis{
+				RootCause:  callerKey,
+				File:       callerInfo.frame.File,
+				Line:       callerInfo.frame.Line,
+				Occurrence: callerOcc,
+				ViaCaller:  true,
+			}
+		}
+	}
+	d.IsUI = reg.IsUIClass(classOf(d.RootCause))
+	return d, true
+}
+
+// classOf splits a class.method key back into its class part.
+func classOf(key string) string {
+	if i := strings.LastIndexByte(key, '.'); i >= 0 {
+		return key[:i]
+	}
+	return key
+}

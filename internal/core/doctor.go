@@ -1,0 +1,398 @@
+package core
+
+import (
+	"sort"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/cpu"
+	"hangdoctor/internal/detect"
+	"hangdoctor/internal/perf"
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/stack"
+)
+
+// Detection is one confirmed soft hang bug diagnosis, the unit of the
+// paper's Tables 5 and 6: where it is, what S-Checker symptoms led to it,
+// and how often it has been seen.
+type Detection struct {
+	ActionUID  string
+	RootCause  string
+	File       string
+	Line       int
+	Occurrence float64
+	// Symptoms are the S-Checker conditions (indexes into Config.Conditions)
+	// that flagged the action when it became Suspicious.
+	Symptoms []int
+	// ViaCaller marks a self-developed aggregate operation.
+	ViaCaller bool
+	// Count is the number of soft hangs diagnosed to this root cause.
+	Count   int
+	FirstAt simclock.Time
+	// MaxResponse is the worst response time observed for this cause.
+	MaxResponse simclock.Duration
+}
+
+// Doctor is Hang Doctor: it implements detect.Detector so the evaluation
+// harness can run it side by side with the baselines.
+type Doctor struct {
+	cfg     Config
+	session *app.Session
+	log     detect.Log
+	report  *Report
+
+	states      map[string]*actionRecord
+	transitions []StateTransition
+	detections  map[string]*Detection // keyed by actionUID + "\x00" + root
+
+	// Per-action-execution state.
+	perfSess    *perf.Session
+	earlyRead   *perf.Reading
+	earlyTimer  *simclock.Event
+	curRec      *actionRecord
+	curTraces   []*stack.Stack
+	sampler     *simclock.Event
+	sampling    bool
+	adaptSet    []LabeledReading
+	deviceLabel string
+	wide        wideCollector
+	telemetry   *Telemetry
+}
+
+// New builds a Doctor with the given configuration.
+func New(cfg Config) *Doctor {
+	d := &Doctor{
+		cfg:        cfg.withDefaults(),
+		states:     map[string]*actionRecord{},
+		detections: map[string]*Detection{},
+		report:     NewReport(),
+	}
+	d.wide.doctor = d
+	return d
+}
+
+// Name implements detect.Detector.
+func (d *Doctor) Name() string { return "HD" }
+
+// Log implements detect.Detector.
+func (d *Doctor) Log() *detect.Log { return &d.log }
+
+// Report returns the Hang Bug Report accumulated so far.
+func (d *Doctor) Report() *Report { return d.report }
+
+// Attach implements detect.Detector.
+func (d *Doctor) Attach(s *app.Session) {
+	d.session = s
+	d.deviceLabel = s.Device.Name
+}
+
+// Detach implements detect.Detector.
+func (d *Doctor) Detach() {
+	d.stopSampler()
+	d.cancelEarly()
+}
+
+// State returns an action's current state (Uncategorized if never seen).
+func (d *Doctor) State(uid string) ActionState {
+	if r, ok := d.states[uid]; ok {
+		return r.state
+	}
+	return Uncategorized
+}
+
+// Transitions returns the audit log of state changes.
+func (d *Doctor) Transitions() []StateTransition { return d.transitions }
+
+// Detections returns all confirmed diagnoses, most frequent first.
+func (d *Doctor) Detections() []*Detection {
+	out := make([]*Detection, 0, len(d.detections))
+	for _, det := range d.detections {
+		out = append(out, det)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].ActionUID != out[j].ActionUID {
+			return out[i].ActionUID < out[j].ActionUID
+		}
+		return out[i].RootCause < out[j].RootCause
+	})
+	return out
+}
+
+// AdaptationData returns the labeled readings recorded for the filter
+// adaptation extension (empty unless Config.CollectAdaptation).
+func (d *Doctor) AdaptationData() []LabeledReading { return d.adaptSet }
+
+// record fetches or creates the look-up-table row for an action.
+func (d *Doctor) record(uid string) *actionRecord {
+	r, ok := d.states[uid]
+	if !ok {
+		r = &actionRecord{uid: uid, state: Uncategorized}
+		d.states[uid] = r
+	}
+	return r
+}
+
+func (d *Doctor) logTransition(r *actionRecord, to ActionState, phase string, seq int) {
+	d.transitions = append(d.transitions, StateTransition{
+		ActionUID: r.uid, From: r.state, To: to, Phase: phase, ExecSeq: seq,
+	})
+	r.transition(to)
+}
+
+// ActionStart implements app.Listener: look up the action's state and start
+// whatever monitoring that state requires.
+func (d *Doctor) ActionStart(e *app.ActionExec) {
+	r := d.record(e.Action.UID)
+	d.curRec = r
+	r.execs++
+	d.curTraces = nil
+	d.earlyRead = nil
+	d.wide.onActionStart()
+
+	if r.state == Normal {
+		r.sinceNormal++
+		if d.cfg.ResetEvery > 0 && r.sinceNormal >= d.cfg.ResetEvery {
+			// Periodic reset: occasionally-manifesting bugs get re-checked.
+			d.logTransition(r, Uncategorized, "Reset", e.Seq)
+		}
+	}
+	if r.state == Uncategorized && !d.cfg.Phase2Only {
+		// S-Checker monitors the three performance events on main and
+		// render threads for the whole action window.
+		threads := d.monitoredThreads()
+		d.perfSess = perf.Open(d.session.Clk, threads, d.cfg.conditionEvents(), d.session.PerfConfig())
+		if d.cfg.EarlyRead > 0 {
+			d.earlyTimer = d.session.Clk.After(d.cfg.EarlyRead, func() {
+				d.earlyTimer = nil
+				if d.perfSess != nil {
+					rd := d.perfSess.Stop()
+					d.earlyRead = &rd
+					d.log.AddCost(d.perfSess.CostNs())
+					d.perfSess = nil
+				}
+			})
+		}
+	}
+}
+
+func (d *Doctor) monitoredThreads() []*cpu.Thread {
+	if d.cfg.MainThreadOnly {
+		return []*cpu.Thread{d.session.MainThread()}
+	}
+	return []*cpu.Thread{d.session.MainThread(), d.session.RenderThread()}
+}
+
+// EventStart arms the Diagnoser's watchdog when the action state calls for
+// deep analysis (Suspicious or HangBug), or in Phase2Only mode for every
+// action.
+func (d *Doctor) EventStart(e *app.ActionExec, ev *app.EventExec) {
+	r := d.curRec
+	if r == nil {
+		return
+	}
+	d.wide.onEventStart(ev)
+	diagnose := r.state == Suspicious || r.state == HangBug || d.cfg.Phase2Only
+	if !diagnose || d.cfg.Phase1Only {
+		return
+	}
+	d.log.AddCost(detect.CostWatchdogNs)
+	evRef := ev
+	d.session.Clk.After(d.cfg.PerceivableDelay, func() {
+		if !evRef.Done && d.curRec == r {
+			d.startSampler()
+		}
+	})
+}
+
+// startSampler begins periodic main-thread stack collection (the Trace
+// Collector) until the current event ends.
+func (d *Doctor) startSampler() {
+	if d.sampling {
+		return
+	}
+	d.sampling = true
+	var tick func()
+	tick = func() {
+		d.sampler = nil
+		if !d.sampling {
+			return
+		}
+		if st := d.session.MainThread().CurrentStack(); st != nil {
+			d.curTraces = append(d.curTraces, st)
+			d.log.AddCost(detect.CostStackSampleNs)
+			d.log.AddMem(detect.BytesPerStackSample)
+		}
+		d.sampler = d.session.Clk.After(d.cfg.SamplePeriod, tick)
+	}
+	tick()
+}
+
+func (d *Doctor) stopSampler() {
+	d.sampling = false
+	if d.sampler != nil {
+		d.session.Clk.Cancel(d.sampler)
+		d.sampler = nil
+	}
+}
+
+func (d *Doctor) cancelEarly() {
+	if d.earlyTimer != nil {
+		d.session.Clk.Cancel(d.earlyTimer)
+		d.earlyTimer = nil
+	}
+}
+
+// EventEnd stops trace collection at the end of a hanging event.
+func (d *Doctor) EventEnd(e *app.ActionExec, ev *app.EventExec) {
+	d.stopSampler()
+	d.wide.stopSampler()
+}
+
+// ActionEnd runs the phase appropriate to the action's state: the S-Checker
+// filter for Uncategorized actions, the Trace Analyzer for diagnosed ones.
+func (d *Doctor) ActionEnd(e *app.ActionExec) {
+	r := d.curRec
+	d.curRec = nil
+	if r == nil {
+		return
+	}
+	d.cancelEarly()
+	rt := e.ResponseTime()
+	hang := rt > d.cfg.PerceivableDelay
+	d.Telemetry().Record(r.uid, rt)
+	d.wide.onActionEnd(rt, hang)
+
+	switch {
+	case r.state == Uncategorized && !d.cfg.Phase2Only:
+		d.sCheck(r, e, rt, hang)
+	case r.state == Suspicious && d.cfg.Phase1Only:
+		// Phase-1-only ablation: without a Diagnoser, every further hang of
+		// a flagged action is reported unconfirmed.
+		if hang {
+			d.log.Trace(detect.TracedHang{At: e.End, Exec: e, ResponseTime: rt, RootCauseIsBug: true})
+		}
+	case (r.state == Suspicious || r.state == HangBug || d.cfg.Phase2Only) && !d.cfg.Phase1Only:
+		d.diagnose(r, e, rt, hang)
+	}
+}
+
+// sCheck is the first phase: read the counters, compare against the
+// symptom thresholds, and route the action (Figure 3 paths A/B/C start).
+func (d *Doctor) sCheck(r *actionRecord, e *app.ActionExec, rt simclock.Duration, hang bool) {
+	var reading perf.Reading
+	switch {
+	case d.earlyRead != nil:
+		reading = *d.earlyRead
+		d.earlyRead = nil
+	case d.perfSess != nil:
+		reading = d.perfSess.Stop()
+		d.log.AddCost(d.perfSess.CostNs())
+		d.perfSess = nil
+	default:
+		return
+	}
+	if !hang {
+		// No soft hang: stay Uncategorized, keep watching.
+		return
+	}
+	var fired []int
+	values := make([]int64, len(d.cfg.Conditions))
+	for i, cond := range d.cfg.Conditions {
+		v := reading.Value(0, cond.Event)
+		if !d.cfg.MainThreadOnly {
+			v = reading.Diff(cond.Event)
+		}
+		values[i] = v
+		if v > cond.Threshold {
+			fired = append(fired, i)
+		}
+	}
+	if d.cfg.CollectAdaptation {
+		d.adaptSet = append(d.adaptSet, LabeledReading{
+			ActionUID: r.uid, Values: values,
+			IsBug: e.BugCaused(d.cfg.PerceivableDelay) != nil,
+		})
+	}
+	if len(fired) > 0 {
+		r.lastSymptoms = fired
+		d.logTransition(r, Suspicious, "S-Checker", e.Seq)
+		if d.cfg.Phase1Only {
+			// Ablation: no confirmation pass; report straight away.
+			d.log.Trace(detect.TracedHang{At: e.End, Exec: e, ResponseTime: rt, RootCauseIsBug: true})
+		}
+	} else {
+		d.logTransition(r, Normal, "S-Checker", e.Seq)
+	}
+}
+
+// diagnose is the second phase: analyze the traces collected during this
+// execution's soft hang and settle the action's state (Figure 3 paths B/C).
+func (d *Doctor) diagnose(r *actionRecord, e *app.ActionExec, rt simclock.Duration, hang bool) {
+	traces := d.curTraces
+	d.curTraces = nil
+	if !hang || len(traces) < d.cfg.MinTraces {
+		// The bug did not manifest this time (or the hang was too short to
+		// sample meaningfully); keep the action's state so the next soft
+		// hang is traced (§3.2 path discussion).
+		return
+	}
+	diag, ok := AnalyzeTraces(traces, d.session.App.Registry, d.cfg.OccurrenceHigh)
+	if !ok {
+		return
+	}
+	d.log.Trace(detect.TracedHang{
+		At: e.End, Exec: e, ResponseTime: rt,
+		RootCause: diag.RootCause, RootCauseIsBug: !diag.IsUI,
+	})
+	if diag.IsUI {
+		if r.state == Suspicious || r.state == Uncategorized {
+			d.logTransition(r, Normal, "Diagnoser", e.Seq)
+		}
+		return
+	}
+	if r.state == Normal {
+		// Phase2Only ablation: a Normal action is still being diagnosed;
+		// re-open it before confirming.
+		d.logTransition(r, Uncategorized, "Diagnoser", e.Seq)
+	}
+	if r.state == Uncategorized {
+		// Phase2Only ablation: no S-Checker ran, so step through Suspicious
+		// to keep the audit trail on Figure 3's edges.
+		d.logTransition(r, Suspicious, "Diagnoser", e.Seq)
+	}
+	if r.state != HangBug {
+		d.logTransition(r, HangBug, "Diagnoser", e.Seq)
+	}
+	d.recordDetection(r, e, rt, diag)
+}
+
+// recordDetection updates the detection table, the Hang Bug Report, and the
+// known-blocking database.
+func (d *Doctor) recordDetection(r *actionRecord, e *app.ActionExec, rt simclock.Duration, diag Diagnosis) {
+	key := r.uid + "\x00" + diag.RootCause
+	det, ok := d.detections[key]
+	if !ok {
+		det = &Detection{
+			ActionUID: r.uid, RootCause: diag.RootCause,
+			File: diag.File, Line: diag.Line,
+			Occurrence: diag.Occurrence,
+			Symptoms:   append([]int(nil), r.lastSymptoms...),
+			ViaCaller:  diag.ViaCaller,
+			FirstAt:    e.End,
+		}
+		d.detections[key] = det
+	}
+	det.Count++
+	if rt > det.MaxResponse {
+		det.MaxResponse = rt
+	}
+	d.report.Add(d.session.App.Name, d.deviceLabel, r.uid, diag, rt)
+	// Feedback loop: a diagnosed blocking *API* extends the offline tools'
+	// database; self-developed operations are only reported to the
+	// developer (§3.1).
+	if _, isAPI := d.session.App.Registry.API(diag.RootCause); isAPI {
+		d.session.App.Registry.AddKnownBlocking(diag.RootCause)
+	}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/simrand"
+)
+
+// FuzzImportReport ensures the report parser never panics and that every
+// accepted document re-exports cleanly (parse → export → parse is a fixed
+// point on the entry set).
+func FuzzImportReport(f *testing.F) {
+	// Seed with a valid export.
+	r := NewReport()
+	r.Add("App", "dev", "App/act", Diagnosis{RootCause: "x.Y.m", File: "Y.java", Line: 2}, 150*simclock.Millisecond)
+	var buf bytes.Buffer
+	if err := r.Export(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"version":1,"entries":[]}`)
+	f.Add(`{"version":2}`)
+	f.Add(`garbage`)
+	f.Add(`{"version":1,"entries":[{"hangs":-3}]}`)
+
+	f.Fuzz(func(t *testing.T, doc string) {
+		rep, err := ImportReport(strings.NewReader(doc))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := rep.Export(&out); err != nil {
+			t.Fatalf("accepted report failed to export: %v", err)
+		}
+		back, err := ImportReport(&out)
+		if err != nil {
+			t.Fatalf("round trip of accepted report failed: %v", err)
+		}
+		if back.Len() != rep.Len() || back.TotalHangs() != rep.TotalHangs() {
+			t.Fatalf("round trip changed the report: %d/%d vs %d/%d",
+				rep.Len(), rep.TotalHangs(), back.Len(), back.TotalHangs())
+		}
+	})
+}
+
+// TestReportMergeCommutative: merging device reports in any order yields the
+// same fleet view — required for an upload pipeline with no ordering
+// guarantees.
+func TestReportMergeCommutative(t *testing.T) {
+	rng := simrand.New(77)
+	mkReport := func(seed string) *Report {
+		r := NewReport()
+		local := rng.Derive(seed)
+		for i := 0; i < 5+local.Intn(10); i++ {
+			r.Add(
+				"App",
+				"dev"+string(rune('a'+local.Intn(4))),
+				"App/act"+string(rune('0'+local.Intn(3))),
+				Diagnosis{RootCause: "c.C.m" + string(rune('0'+local.Intn(3)))},
+				simclock.Duration(100+local.Intn(900))*simclock.Millisecond,
+			)
+		}
+		return r
+	}
+	fingerprint := func(r *Report) string {
+		var b bytes.Buffer
+		if err := r.Export(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, bb, c := mkReport("a"), mkReport("b"), mkReport("c")
+	m1 := NewReport()
+	m1.Merge(a, bb, c)
+	m2 := NewReport()
+	m2.Merge(c)
+	m2.Merge(bb)
+	m2.Merge(a)
+	if fingerprint(m1) != fingerprint(m2) {
+		t.Fatal("merge order changed the fleet report")
+	}
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hangdoctor/internal/simclock"
+)
+
+// ReportEntry is one row of the Hang Bug Report (Figure 2(b)): a diagnosed
+// root cause with its spread across soft hangs and devices.
+type ReportEntry struct {
+	App       string
+	ActionUID string
+	RootCause string
+	File      string
+	Line      int
+	// ViaCaller marks self-developed aggregate operations.
+	ViaCaller bool
+	// Hangs is the number of diagnosed soft hangs attributed to this cause.
+	Hangs int
+	// Devices is the set of devices/users that reported it.
+	Devices map[string]bool
+	// MaxResponse and SumResponse summarize observed hang lengths.
+	MaxResponse simclock.Duration
+	SumResponse simclock.Duration
+}
+
+// AvgResponse returns the mean diagnosed hang length.
+func (e *ReportEntry) AvgResponse() simclock.Duration {
+	if e.Hangs == 0 {
+		return 0
+	}
+	return e.SumResponse / simclock.Duration(e.Hangs)
+}
+
+// Report is the developer-facing Hang Bug Report: "a table of detected soft
+// hang bugs ordered by the percentage of occurrences across user devices"
+// (§3.2). Reports from many devices merge into one fleet view.
+type Report struct {
+	entries map[string]*ReportEntry
+	// totalHangs counts all diagnosed bug hangs, the denominator of the
+	// occurrence percentage column.
+	totalHangs int
+}
+
+// NewReport returns an empty report.
+func NewReport() *Report {
+	return &Report{entries: map[string]*ReportEntry{}}
+}
+
+func entryKey(appName, actionUID, root string) string {
+	return appName + "\x00" + actionUID + "\x00" + root
+}
+
+// Add records one diagnosed soft hang.
+func (r *Report) Add(appName, device, actionUID string, diag Diagnosis, rt simclock.Duration) {
+	key := entryKey(appName, actionUID, diag.RootCause)
+	e, ok := r.entries[key]
+	if !ok {
+		e = &ReportEntry{
+			App: appName, ActionUID: actionUID, RootCause: diag.RootCause,
+			File: diag.File, Line: diag.Line, ViaCaller: diag.ViaCaller,
+			Devices: map[string]bool{},
+		}
+		r.entries[key] = e
+	}
+	e.Hangs++
+	r.totalHangs++
+	e.Devices[device] = true
+	e.SumResponse += rt
+	if rt > e.MaxResponse {
+		e.MaxResponse = rt
+	}
+}
+
+// Merge folds other reports into r (the server-side aggregation of the
+// field study).
+func (r *Report) Merge(others ...*Report) {
+	for _, o := range others {
+		for key, oe := range o.entries {
+			e, ok := r.entries[key]
+			if !ok {
+				e = &ReportEntry{
+					App: oe.App, ActionUID: oe.ActionUID, RootCause: oe.RootCause,
+					File: oe.File, Line: oe.Line, ViaCaller: oe.ViaCaller,
+					Devices: map[string]bool{},
+				}
+				r.entries[key] = e
+			}
+			e.Hangs += oe.Hangs
+			r.totalHangs += oe.Hangs
+			for dev := range oe.Devices {
+				e.Devices[dev] = true
+			}
+			e.SumResponse += oe.SumResponse
+			if oe.MaxResponse > e.MaxResponse {
+				e.MaxResponse = oe.MaxResponse
+			}
+		}
+	}
+}
+
+// Len returns the number of distinct root causes reported.
+func (r *Report) Len() int { return len(r.entries) }
+
+// TotalHangs returns the number of diagnosed bug hangs across all entries.
+func (r *Report) TotalHangs() int { return r.totalHangs }
+
+// Entries returns rows ordered by occurrence share descending (ties by
+// app/action/root for determinism).
+func (r *Report) Entries() []*ReportEntry {
+	out := make([]*ReportEntry, 0, len(r.entries))
+	for _, e := range r.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hangs != out[j].Hangs {
+			return out[i].Hangs > out[j].Hangs
+		}
+		ki := entryKey(out[i].App, out[i].ActionUID, out[i].RootCause)
+		kj := entryKey(out[j].App, out[j].ActionUID, out[j].RootCause)
+		return ki < kj
+	})
+	return out
+}
+
+// OccurrencePct returns an entry's share of all diagnosed hangs, the
+// percentage column of Figure 2(b).
+func (r *Report) OccurrencePct(e *ReportEntry) float64 {
+	if r.totalHangs == 0 {
+		return 0
+	}
+	return 100 * float64(e.Hangs) / float64(r.totalHangs)
+}
+
+// Render formats the report in the layout of Figure 2(b).
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-66s %8s %8s %8s %9s\n", "Root cause (file:line) @ action", "Hangs", "Share", "Devices", "MaxResp")
+	for _, e := range r.Entries() {
+		kind := ""
+		if e.ViaCaller {
+			kind = " [self-developed]"
+		}
+		fmt.Fprintf(&b, "%-66s %8d %7.0f%% %8d %9s\n",
+			fmt.Sprintf("%s (%s:%d)%s @ %s", e.RootCause, e.File, e.Line, kind, e.ActionUID),
+			e.Hangs, r.OccurrencePct(e), len(e.Devices), e.MaxResponse)
+	}
+	return b.String()
+}

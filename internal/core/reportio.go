@@ -1,0 +1,111 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"hangdoctor/internal/simclock"
+)
+
+// reportWire is the JSON wire format a device uploads: one document per
+// report, schema-versioned so the fleet service can evolve.
+type reportWire struct {
+	Version int         `json:"version"`
+	Entries []entryWire `json:"entries"`
+}
+
+type entryWire struct {
+	App         string   `json:"app"`
+	ActionUID   string   `json:"action_uid"`
+	RootCause   string   `json:"root_cause"`
+	File        string   `json:"file"`
+	Line        int      `json:"line"`
+	ViaCaller   bool     `json:"via_caller,omitempty"`
+	Hangs       int      `json:"hangs"`
+	Devices     []string `json:"devices"`
+	MaxResponse int64    `json:"max_response_ns"`
+	SumResponse int64    `json:"sum_response_ns"`
+}
+
+const reportWireVersion = 1
+
+// Export writes the report as JSON. Per the paper's privacy posture (§3.2),
+// the payload contains only the blocking operations that caused soft hangs
+// — no user content, no full traces; combine with Anonymize before upload
+// to strip device identifiers.
+func (r *Report) Export(w io.Writer) error {
+	doc := reportWire{Version: reportWireVersion}
+	for _, e := range r.Entries() {
+		devs := make([]string, 0, len(e.Devices))
+		for d := range e.Devices {
+			devs = append(devs, d)
+		}
+		sort.Strings(devs)
+		doc.Entries = append(doc.Entries, entryWire{
+			App: e.App, ActionUID: e.ActionUID, RootCause: e.RootCause,
+			File: e.File, Line: e.Line, ViaCaller: e.ViaCaller,
+			Hangs: e.Hangs, Devices: devs,
+			MaxResponse: int64(e.MaxResponse), SumResponse: int64(e.SumResponse),
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ImportReport parses a JSON document produced by Export.
+func ImportReport(rd io.Reader) (*Report, error) {
+	var doc reportWire
+	if err := json.NewDecoder(rd).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: decoding report: %w", err)
+	}
+	if doc.Version != reportWireVersion {
+		return nil, fmt.Errorf("core: unsupported report version %d", doc.Version)
+	}
+	out := NewReport()
+	for _, ew := range doc.Entries {
+		if ew.Hangs <= 0 {
+			return nil, fmt.Errorf("core: entry %s/%s has non-positive hang count", ew.App, ew.RootCause)
+		}
+		e := &ReportEntry{
+			App: ew.App, ActionUID: ew.ActionUID, RootCause: ew.RootCause,
+			File: ew.File, Line: ew.Line, ViaCaller: ew.ViaCaller,
+			Hangs: ew.Hangs, Devices: map[string]bool{},
+			MaxResponse: simclock.Duration(ew.MaxResponse),
+			SumResponse: simclock.Duration(ew.SumResponse),
+		}
+		for _, d := range ew.Devices {
+			e.Devices[d] = true
+		}
+		out.entries[entryKey(ew.App, ew.ActionUID, ew.RootCause)] = e
+		out.totalHangs += ew.Hangs
+	}
+	return out, nil
+}
+
+// Anonymize returns a copy of the report with every device identifier
+// replaced by a salted hash, so the fleet service can still count distinct
+// devices per entry without learning who they are.
+func (r *Report) Anonymize(salt string) *Report {
+	out := NewReport()
+	out.totalHangs = r.totalHangs
+	for key, e := range r.entries {
+		ne := &ReportEntry{
+			App: e.App, ActionUID: e.ActionUID, RootCause: e.RootCause,
+			File: e.File, Line: e.Line, ViaCaller: e.ViaCaller,
+			Hangs: e.Hangs, Devices: map[string]bool{},
+			MaxResponse: e.MaxResponse, SumResponse: e.SumResponse,
+		}
+		for d := range e.Devices {
+			h := fnv.New64a()
+			h.Write([]byte(salt))
+			h.Write([]byte(d))
+			ne.Devices[fmt.Sprintf("dev-%016x", h.Sum64())] = true
+		}
+		out.entries[key] = ne
+	}
+	return out
+}

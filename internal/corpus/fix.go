@@ -1,0 +1,99 @@
+package corpus
+
+import (
+	"fmt"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/stack"
+)
+
+// FixedApp returns a deep copy of a with the given bug fixed the way the
+// paper's developers fix theirs (§2.1, §4.2): the blocking operation moves
+// to a worker thread, leaving only a few milliseconds of hand-off on the
+// main thread. The returned app carries no ground-truth entry for the fixed
+// bug, so the same evaluation harness verifies the fix — "we fix the bug
+// ourselves and verify that the app does not have any more soft hangs".
+func FixedApp(a *app.App, bugID string) (*app.App, error) {
+	var target *app.Bug
+	for _, b := range a.Bugs {
+		if b.ID == bugID {
+			target = b
+		}
+	}
+	if target == nil {
+		return nil, fmt.Errorf("corpus: app %s has no bug %q", a.Name, bugID)
+	}
+
+	fixed := &app.App{
+		Name:      a.Name + " (fix " + bugID + ")",
+		Commit:    a.Commit + "+fix",
+		Category:  a.Category,
+		Downloads: a.Downloads,
+		Registry:  a.Registry,
+	}
+	// Deep-copy the remaining bugs so Finalize relinks them to the clone
+	// without mutating the original app's ground truth.
+	bugCopies := map[*app.Bug]*app.Bug{}
+	for _, b := range a.Bugs {
+		if b == target {
+			continue
+		}
+		nb := &app.Bug{ID: b.ID, IssueID: b.IssueID, Description: b.Description}
+		bugCopies[b] = nb
+		fixed.Bugs = append(fixed.Bugs, nb)
+	}
+	for _, act := range a.Actions {
+		nact := &app.Action{
+			Name:    act.Name,
+			Kind:    act.Kind,
+			Weight:  act.Weight,
+			Handler: act.Handler,
+		}
+		for _, ev := range act.Events {
+			nev := &app.InputEvent{Name: ev.Name}
+			for _, op := range ev.Ops {
+				nop := *op // value copy; shared API/Via/Self pointers are immutable
+				if op.Bug == target {
+					nop = asyncHandoff(op)
+				} else if op.Bug != nil {
+					nop.Bug = bugCopies[op.Bug]
+				}
+				nev.Ops = append(nev.Ops, &nop)
+			}
+			nact.Events = append(nact.Events, nev)
+		}
+		fixed.Actions = append(fixed.Actions, nact)
+	}
+	if err := fixed.Finalize(); err != nil {
+		return nil, fmt.Errorf("corpus: finalizing fixed app: %w", err)
+	}
+	return fixed, nil
+}
+
+// asyncHandoff is the fixed form of a buggy op: the main thread only posts
+// the work to an AsyncTask and wires the completion callback (~4 ms), as in
+// the paper's Figure 1 fix.
+func asyncHandoff(op *app.Op) app.Op {
+	stub := app.CostModel{
+		CPU:                4 * simclock.Millisecond,
+		Jitter:             0.2,
+		MinorFaultsPerSec:  400,
+		InstructionsPerSec: 1.0e9,
+	}
+	fixedOp := app.Op{
+		Name:     op.Name + "#async",
+		Heavy:    stub,
+		Manifest: 1,
+	}
+	// The hand-off runs app code (execute + onPostExecute wiring), so the
+	// stack shows the AsyncTask site rather than the old blocking API.
+	frame := op.LeafFrame()
+	fixedOp.Self = &stack.Frame{
+		Class:  frame.Class + "$AsyncFix",
+		Method: "execute",
+		File:   frame.File,
+		Line:   frame.Line,
+	}
+	return fixedOp
+}

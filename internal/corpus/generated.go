@@ -1,0 +1,95 @@
+package corpus
+
+import (
+	"fmt"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/simrand"
+)
+
+// Generated-app name material: the corpus pads out to 114 apps with
+// bug-free apps across the same Play Store categories the paper samples.
+var genCategories = []string{
+	"Tools", "Social", "Productivity", "Communication", "Travel & Local",
+	"Music & Audio", "Photography", "Education", "Business", "Media & Video",
+	"Personalization", "Books", "Entertainment", "Video Players",
+}
+
+var genNameA = []string{
+	"Swift", "Nova", "Pocket", "Clear", "Quick", "Open", "Micro", "Hyper",
+	"Silent", "Bright", "Simple", "Ultra", "Metro", "Prime", "Echo",
+}
+
+var genNameB = []string{
+	"Notes", "Weather", "Reader", "Chat", "Budget", "Tracker", "Player",
+	"Scanner", "Timer", "Gallery", "Launcher", "Radio", "Maps", "Mail",
+	"Tasks",
+}
+
+var genDownloads = []string{"100+", "1K+", "5K+", "10K+", "50K+", "100K+", "500K+", "1M+"}
+
+// generatedApps builds n deterministic bug-free apps. Each has a handful of
+// actions mixing sub-perceivable work with occasionally heavy UI operations,
+// so runtime detectors see realistic false-positive pressure without any
+// true soft hang bug.
+func generatedApps(b *builder, n int) []*app.App {
+	rng := simrand.New(0xC0FFEE).Derive("generated-apps")
+	out := make([]*app.App, 0, n)
+	seen := map[string]bool{"": true}
+	for i := 0; i < n; i++ {
+		var name string
+		for attempt := 0; ; attempt++ {
+			name = genNameA[rng.Intn(len(genNameA))] + genNameB[rng.Intn(len(genNameB))]
+			if attempt > 0 {
+				name = fmt.Sprintf("%s%d", name, attempt)
+			}
+			if !seen[name] {
+				break
+			}
+		}
+		seen[name] = true
+		out = append(out, generatedApp(b, rng.Derive(name), name, i))
+	}
+	return out
+}
+
+// generatedApp builds one clean app from its private RNG stream.
+func generatedApp(b *builder, rng *simrand.Rand, name string, idx int) *app.App {
+	a := &app.App{
+		Name:      name,
+		Commit:    fmt.Sprintf("%07x", rng.Uint64()&0xFFFFFFF),
+		Category:  genCategories[idx%len(genCategories)],
+		Downloads: genDownloads[rng.Intn(len(genDownloads))],
+		Registry:  b.reg,
+	}
+	uiKeys := []string{
+		"android.widget.ListView.layoutChildren",
+		"android.view.LayoutInflater.inflate",
+		"android.widget.TextView.setText",
+		"android.view.View.invalidate",
+		"android.widget.ImageView.setImageBitmap",
+	}
+	nActions := 3 + rng.Intn(4)
+	for j := 0; j < nActions; j++ {
+		actName := fmt.Sprintf("Screen %d", j+1)
+		key := uiKeys[rng.Intn(len(uiKeys))]
+		var ops []*app.Op
+		switch {
+		case j == 0 && rng.Bool(0.55):
+			// One occasionally heavy UI screen: a legitimate soft hang.
+			heavy := app.UIWork(simclock.Duration(90+rng.Intn(160))*simclock.Millisecond, 10+rng.Intn(10))
+			op := b.uiOp(key, heavy)
+			op.Manifest = 0.35 + rng.Float64()*0.4
+			op.Light = heavy.Light(0.15)
+			ops = append(ops, op)
+		case rng.Bool(0.3):
+			// Moderate UI work, borderline perceivable.
+			ops = append(ops, b.uiOp(key, app.UIWork(simclock.Duration(60+rng.Intn(60))*simclock.Millisecond, 6+rng.Intn(6))))
+		default:
+			ops = append(ops, b.quickUIOp(key))
+		}
+		a.Actions = append(a.Actions, action(actName, "onClick", 0.5+rng.Float64()*2, ops...))
+	}
+	return a
+}

@@ -1,0 +1,230 @@
+package corpus
+
+import (
+	"hangdoctor/internal/android/app"
+)
+
+// motivationApps builds the eight Table-1 apps used in the paper's §2.2
+// motivation study (the Table-2 timeout sweep). Their bugs are *well-known*
+// blocking APIs, with hang durations arranged to reproduce Table 2's shape:
+// most bug hangs sit in the 100-500 ms band, FrostWire's reaches the
+// 500 ms-1 s band, SeaDroid's crosses 1 s, and nothing reaches the 5 s ANR
+// timeout; UI-caused hangs populate 100 ms-1 s.
+func motivationApps(b *builder) []*app.App {
+	return []*app.App{
+		droidWall(b), frostWire(b), ushaidi(b), webSMS(b),
+		cgeo(b), seadroid(b), fbReaderJ(b), aBetterCamera(b, false),
+	}
+}
+
+func droidWall(b *builder) *app.App {
+	exec := b.platform("android.database.sqlite.SQLiteDatabase.execSQL")
+	k := bug("DroidWall/rules-execSQL", "m1", "firewall rules write on apply")
+	a := &app.App{
+		Name: "DroidWall", Commit: "3e2b654", Category: "Tools", Downloads: "1M+",
+		Registry: b.reg, Bugs: []*app.Bug{k},
+	}
+	a.Actions = []*app.Action{
+		action("Apply Rules", "onClick", 1,
+			b.op("execSQL", exec, nil, app.IOHeavy(ms(45), 9, ms(24)), 0.55, k)),
+		action("App List", "onScroll", 2.6, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(115), 12))),
+		action("Toggle App", "onClick", 2.2, b.quickUIOp("android.widget.TextView.setText")),
+	}
+	return a
+}
+
+func frostWire(b *builder) *app.App {
+	read := b.platform("java.io.FileInputStream.read")
+	// FrostWire's hang is the long one of the 500 ms band in Table 2.
+	k := bug("FrostWire/library-read", "m2", "library metadata read on open (~650 ms)")
+	a := &app.App{
+		Name: "FrostWire", Commit: "55427ef", Category: "Media", Downloads: "10M+",
+		Registry: b.reg, Bugs: []*app.Bug{k},
+	}
+	cost := app.IOHeavy(ms(80), 12, ms(48))
+	cost.Jitter = 0.12
+	a.Actions = []*app.Action{
+		action("Open Library", "onClick", 1,
+			b.op("read", read, nil, cost, 0.55, k)),
+		action("Transfers", "onScroll", 2.4, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(105), 11))),
+		action("Search", "onClick", 2, b.quickUIOp("android.view.LayoutInflater.inflate")),
+	}
+	return a
+}
+
+func ushaidi(b *builder) *app.App {
+	query := b.platform("android.database.sqlite.SQLiteDatabase.query")
+	insert := b.platform("android.database.sqlite.SQLiteDatabase.insert")
+	k1 := bug("Ushaidi/reports-query", "m3", "report list query on open")
+	k2 := bug("Ushaidi/report-insert", "m4", "report insert on submit")
+	a := &app.App{
+		Name: "Ushaidi", Commit: "59fbb533d0", Category: "Social", Downloads: "100K+",
+		Registry: b.reg, Bugs: []*app.Bug{k1, k2},
+	}
+	a.Actions = []*app.Action{
+		action("Open Reports", "onClick", 1.4,
+			b.op("query", query, nil, app.MemHeavy(ms(55), 3, ms(70), 15000), 0.55, k1)),
+		action("Submit Report", "onClick", 1,
+			b.op("insert", insert, nil, app.IOHeavy(ms(42), 9, ms(23)), 0.55, k2)),
+		action("Map View", "onClick", 2.2, b.uiOp("android.view.View.invalidate", app.UIWork(ms(125), 13))),
+	}
+	return a
+}
+
+func webSMS(b *builder) *app.App {
+	query := b.platform("android.database.sqlite.SQLiteDatabase.query")
+	k := bug("WebSMS/threads-query", "m5", "conversation query on open")
+	a := &app.App{
+		Name: "WebSMS", Commit: "1f596fbd29", Category: "Communication", Downloads: "500K+",
+		Registry: b.reg, Bugs: []*app.Bug{k},
+	}
+	a.Actions = []*app.Action{
+		action("Open Threads", "onClick", 1.2,
+			b.op("query", query, nil, app.IOHeavy(ms(48), 10, ms(22)), 0.5, k)),
+		action("Compose", "onClick", 2.2, b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(110), 12))),
+		action("Send", "onClick", 2, b.quickUIOp("android.widget.TextView.setText")),
+	}
+	return a
+}
+
+// cgeo has several frequently-manifesting bugs (Table 2 records five true
+// positives at the 100 ms timeout) plus heavy map UI.
+func cgeo(b *builder) *app.App {
+	query := b.platform("android.database.sqlite.SQLiteDatabase.query")
+	read := b.platform("java.io.FileInputStream.read")
+	decode := b.platform("android.graphics.BitmapFactory.decodeFile")
+	k1 := bug("cgeo/caches-query", "m6", "cache list query on map pan")
+	k2 := bug("cgeo/gpx-read", "m7", "GPX read on import")
+	k3 := bug("cgeo/map-decode", "m8", "map tile bitmap decode")
+	a := &app.App{
+		Name: "cgeo", Commit: "6e4a8d4ba8", Category: "Entertainment", Downloads: "5M+",
+		Registry: b.reg, Bugs: []*app.Bug{k1, k2, k3},
+	}
+	a.Actions = []*app.Action{
+		action("Pan Map", "onScroll", 2.5,
+			b.op("query", query, nil, app.MemHeavy(ms(52), 3, ms(65), 14000), 0.65, k1),
+			b.uiOp("android.view.View.invalidate", app.UIWork(ms(60), 10))),
+		action("Import GPX", "onClick", 1,
+			b.op("read", read, nil, app.IOHeavy(ms(45), 10, ms(23)), 0.6, k2)),
+		action("Open Cache", "onClick", 1.6,
+			b.op("decodeFile", decode, nil, app.ParseHeavy(ms(300)), 0.6, k3)),
+		action("Nearby List", "onScroll", 2, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(105), 11))),
+		action("Cold Start", "onResume", 0.5, b.uiOp("android.view.LayoutInflater.inflate", func() app.CostModel {
+			m := app.UIWork(ms(410), 20)
+			m.Jitter = 0.35
+			return m
+		}())),
+	}
+	return a
+}
+
+// seadroid's bug is Table 2's longest: it alone survives the 1 s timeout.
+func seadroid(b *builder) *app.App {
+	read := b.platform("java.io.FileInputStream.read")
+	k := bug("Seadroid/sync-read", "m9", "full file read on library sync (~1.2 s)")
+	a := &app.App{
+		Name: "Seadroid", Commit: "5a7531d", Category: "Productivity", Downloads: "100K+",
+		Registry: b.reg, Bugs: []*app.Bug{k},
+	}
+	cost := app.IOHeavy(ms(140), 14, ms(75))
+	cost.Jitter = 0.1
+	coldStart := app.UIWork(ms(430), 22)
+	coldStart.Jitter = 0.35
+	a.Actions = []*app.Action{
+		action("Sync Library", "onClick", 1,
+			b.op("read", read, nil, cost, 0.55, k)),
+		action("File List", "onScroll", 2.4, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(115), 12))),
+		action("Starred", "onClick", 1.8, b.quickUIOp("android.view.LayoutInflater.inflate")),
+		// Cold-start layout storm: a legitimate UI hang that occasionally
+		// crosses 500 ms — the source of Table 2's 500 ms-band false
+		// positives.
+		action("Cold Start", "onResume", 0.6, b.uiOp("android.view.LayoutInflater.inflate", coldStart)),
+	}
+	return a
+}
+
+// fbReaderJ records Table 2's highest per-app true-positive count: several
+// frequently-hit blocking operations in the reading path.
+func fbReaderJ(b *builder) *app.App {
+	read := b.platform("java.io.FileInputStream.read")
+	query := b.platform("android.database.sqlite.SQLiteDatabase.query")
+	decode := b.platform("android.graphics.BitmapFactory.decodeStream")
+	k1 := bug("FBReaderJ/book-read", "m10", "book chunk read on page turn")
+	k2 := bug("FBReaderJ/library-query", "m11", "library query on shelf open")
+	k3 := bug("FBReaderJ/cover-decode", "m12", "cover bitmap decode on shelf scroll")
+	a := &app.App{
+		Name: "FBReaderJ", Commit: "0f02d4e923", Category: "Books", Downloads: "10M+",
+		Registry: b.reg, Bugs: []*app.Bug{k1, k2, k3},
+	}
+	a.Actions = []*app.Action{
+		action("Turn Page", "onClick", 3,
+			b.op("read", read, nil, app.IOHeavy(ms(40), 9, ms(22)), 0.6, k1)),
+		action("Open Shelf", "onClick", 1.5,
+			b.op("query", query, nil, app.MemHeavy(ms(50), 3, ms(62), 15000), 0.6, k2)),
+		action("Scroll Shelf", "onScroll", 1.8,
+			b.op("decodeStream", decode, nil, app.ParseHeavy(ms(280)), 0.6, k3),
+			b.uiOp("android.widget.ImageView.setImageBitmap", app.UIWork(ms(45), 8))),
+		action("Bookmarks", "onClick", 1.6, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(100), 11))),
+	}
+	return a
+}
+
+// aBetterCamera reproduces Figure 1: the Resume action runs setParameters,
+// open (the bug), setText, inflate, SeekBar.<init>, and
+// OrientationEventListener.enable, totalling ~423 ms; the fixed variant
+// replaces the open call with a worker-thread handoff stub, dropping the
+// response to ~160 ms.
+func aBetterCamera(b *builder, fixed bool) *app.App {
+	setParams := b.platform("android.hardware.Camera.setParameters")
+	open := b.platform("android.hardware.Camera.open")
+	k := bug("ABetterCamera/resume-open", "m13", "camera open on activity resume (Figure 1)")
+
+	name := "A Better Camera"
+	bugs := []*app.Bug{k}
+
+	openCost := app.IOHeavy(ms(28), 8, ms(29)) // ~260 ms inside open
+	openCost.Jitter = 0.1
+	openOp := b.op("open", open, nil, openCost, 1, k)
+	if fixed {
+		name += " (fixed)"
+		bugs = nil
+		// Moving the API to a worker thread leaves a ~4 ms post on main.
+		openOp = b.op("open", open, nil, app.CostModel{
+			CPU: ms(4), Jitter: 0.1, InstructionsPerSec: 1e9, MinorFaultsPerSec: 300,
+		}, 1, nil)
+	}
+
+	spCost := app.CostModel{CPU: ms(52), Jitter: 0.1, Blocks: 1, BlockEach: ms(8),
+		MinorFaultsPerSec: 800, InstructionsPerSec: 1.0e9}
+
+	a := &app.App{
+		Name: name, Commit: "9f8e3b0", Category: "Photography", Downloads: "5M+",
+		Registry: b.reg, Bugs: bugs,
+	}
+	a.Actions = []*app.Action{
+		action("Resume", "onResume", 1.5,
+			b.op("setParameters", setParams, nil, spCost, 1, nil),
+			openOp,
+			b.uiOp("android.widget.TextView.setText", app.UIWork(ms(16), 2)),
+			b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(38), 4)),
+			b.uiOp("android.widget.SeekBar.<init>", app.UIWork(ms(14), 2)),
+			b.uiOp("android.view.OrientationEventListener.enable", app.UIWork(ms(12), 1)),
+		),
+		action("Shoot", "onClick", 3, b.quickUIOp("android.view.View.invalidate")),
+		action("Gallery", "onScroll", 1.8, b.uiOp("android.widget.ImageView.setImageBitmap", app.UIWork(ms(108), 11))),
+	}
+	return a
+}
+
+// ABetterCameraPair returns the corpus's buggy A Better Camera alongside a
+// freshly built fixed variant (camera.open moved to a worker thread), for
+// the Figure 1 experiment.
+func (c *Corpus) ABetterCameraPair() (buggy, fixedApp *app.App) {
+	b := &builder{reg: c.Registry}
+	buggy = c.MustApp("A Better Camera")
+	fixedApp = aBetterCamera(b, true)
+	if err := fixedApp.Finalize(); err != nil {
+		panic("corpus: " + err.Error())
+	}
+	return buggy, fixedApp
+}

@@ -1,0 +1,112 @@
+package corpus
+
+import (
+	"testing"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/cpu"
+	"hangdoctor/internal/perf"
+	"hangdoctor/internal/simclock"
+)
+
+// expectedSignatures encodes Table 6's design: for each offline-missed bug,
+// which of the three S-Checker conditions (ctx>0, task-clock>1.7e8,
+// page-faults>500) must fire on the majority of its manifesting executions.
+// This is the regression guard that keeps corpus tuning honest: any cost or
+// noise change that flips a signature fails here, not in a downstream
+// experiment.
+var expectedSignatures = map[string][3]bool{
+	// ctx, task, pf
+	"AndStatus/303-transform":         {true, false, false},
+	"AndStatus/303-prettify":          {false, false, true},
+	"CycleStreets/117-readMapData":    {true, false, false},
+	"CycleStreets/117-fetchTile":      {true, false, false},
+	"CycleStreets/117-loadRoute":      {true, false, false},
+	"K9-Mail/1007-clean":              {true, true, true},
+	"K9-Mail/1007-parse":              {true, true, true},
+	"Omni-Notes/253-getNotes":         {false, false, true},
+	"Omni-Notes/253-getAttachments":   {false, false, true},
+	"Omni-Notes/253-readMediaIndex":   {false, false, true},
+	"QKSMS/382-formatThread":          {true, true, false},
+	"QKSMS/382-substitute":            {true, true, false},
+	"QKSMS/382-backupLoop":            {true, true, false},
+	"AntennaPod/1921-buildViewModels": {true, true, false},
+	"AntennaPod/1921-extractChapters": {true, true, false},
+	"Merchant/17-loadSnapshot":        {true, false, false},
+	"UOITDC/3-parseTimetable":         {true, true, true},
+	"UOITDC/3-importCalendar":         {true, true, true},
+	"SageMath/84-toJson-cell":         {true, true, true},
+	"SageMath/84-toJson-session":      {true, true, true},
+	"RadioDroid/29-rebuildIndex":      {false, false, true},
+	"Git@OSC/89-refreshMetadata":      {true, false, false},
+	"SkyTube/88-decodeChannelFeed":    {true, true, true},
+}
+
+// TestValidationBugSignatures drives every offline-missed bug's action until
+// enough manifestations are observed and checks the majority-vote condition
+// signature against the Table 6 design.
+func TestValidationBugSignatures(t *testing.T) {
+	c := Build()
+	bugs := c.MissedOfflineBugs()
+	if len(bugs) != len(expectedSignatures) {
+		t.Fatalf("validation bugs = %d, signature table = %d", len(bugs), len(expectedSignatures))
+	}
+	for _, b := range bugs {
+		want, ok := expectedSignatures[b.ID]
+		if !ok {
+			t.Errorf("no expected signature for %s", b.ID)
+			continue
+		}
+		bug, wantSig := b, want
+		t.Run(bug.ID, func(t *testing.T) {
+			b, want := bug, wantSig
+			s, err := app.NewSession(b.App, app.LGV10(), 23)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var hits [3]int
+			manifests := 0
+			for try := 0; try < 120 && manifests < 9; try++ {
+				ps := perf.Open(s.Clk,
+					[]*cpu.Thread{s.MainThread(), s.RenderThread()},
+					[]perf.Event{perf.ContextSwitches, perf.TaskClock, perf.PageFaults},
+					s.PerfConfig())
+				exec := s.Perform(b.Action)
+				r := ps.Stop()
+				s.Idle(simclock.Second)
+				got := exec.BugCaused(100 * simclock.Millisecond)
+				if got == nil || got.ID != b.ID {
+					continue
+				}
+				manifests++
+				if r.Diff(perf.ContextSwitches) > 0 {
+					hits[0]++
+				}
+				if r.Diff(perf.TaskClock) > 170_000_000 {
+					hits[1]++
+				}
+				if r.Diff(perf.PageFaults) > 500 {
+					hits[2]++
+				}
+			}
+			if manifests < 5 {
+				t.Fatalf("bug manifested only %d times", manifests)
+			}
+			names := [3]string{"context-switches", "task-clock", "page-faults"}
+			anyFired := false
+			for i := range want {
+				majority := hits[i]*2 > manifests
+				if majority {
+					anyFired = true
+				}
+				if majority != want[i] {
+					t.Errorf("%s: majority=%v (hits %d/%d), designed %v",
+						names[i], majority, hits[i], manifests, want[i])
+				}
+			}
+			if !anyFired {
+				t.Error("no condition fires: S-Checker would never flag this bug")
+			}
+		})
+	}
+}

@@ -1,0 +1,496 @@
+package corpus
+
+import (
+	"hangdoctor/internal/android/api"
+	"hangdoctor/internal/android/app"
+)
+
+// table5Apps builds the 16 apps of the paper's Table 5, each with the number
+// of seeded bugs (BD) and offline-missed bugs (MO) the paper reports:
+//
+//	AndStatus 3(2)  DashClock 1(0)   CycleStreets 4(3)  K9-Mail 2(2)
+//	Omni-Notes 3(3) OwnTracks 1(0)   QKSMS 3(3)         StickerCamera 3(0)
+//	AntennaPod 3(2) Merchant 1(1)    UOITDC Booking 2(2) SageMath 3(2)
+//	RadioDroid 2(1) Git@OSC 1(1)     Lens-Launcher 1(0)  SkyTube 1(1)
+//
+// Total: 34 bugs, 23 missed offline. The per-bug cost archetypes encode the
+// performance-event signatures of Table 6 (which of S-Checker's three
+// conditions detect each unknown bug): IOHeavy → context switches only,
+// CPULoop → switches + task clock, ParseHeavy → all three, MemHeavy beside
+// UI work → page faults only.
+func table5Apps(b *builder) []*app.App {
+	return []*app.App{
+		andStatus(b), dashClock(b), cycleStreets(b), k9Mail(b),
+		omniNotes(b), ownTracks(b), qksms(b), stickerCamera(b),
+		antennaPod(b), merchant(b), uoitdcBooking(b), sageMath(b),
+		radioDroid(b), gitOSC(b), lensLauncher(b), skyTube(b),
+	}
+}
+
+// bug is a terse Bug constructor.
+func bug(id, issue, desc string) *app.Bug {
+	return &app.Bug{ID: id, IssueID: issue, Description: desc}
+}
+
+// andStatus: social timeline client. One known bug (BitmapFactory.decodeFile
+// on timeline scroll, issue 303, ~600 ms hangs) plus two unknown bugs: a
+// self-developed HTML transform (I/O-bound) and an undocumented
+// attachment-preview API (memory-bound). Figure 2(b) of the paper shows
+// these three in the Hang Bug Report.
+func andStatus(b *builder) *app.App {
+	decode := b.platform("android.graphics.BitmapFactory.decodeFile")
+	myHTML := b.class("org.andstatus.app.util.MyHtml", false, "", false)
+	prettify := b.api(myHTML, "prettify", 129, 0)
+
+	known := bug("AndStatus/303-decodeFile", "303", "BitmapFactory.decodeFile on timeline scroll")
+	newIO := bug("AndStatus/303-transform", "303", "self-developed HTML transform with file I/O on main thread")
+	newPF := bug("AndStatus/303-prettify", "303", "undocumented MyHtml.prettify allocates heavily on main thread")
+
+	a := &app.App{
+		Name: "AndStatus", Commit: "49ef41c", Category: "Social", Downloads: "1K+",
+		Registry: b.reg,
+		Bugs:     []*app.Bug{known, newIO, newPF},
+	}
+	a.Actions = []*app.Action{
+		action("Scroll Timeline", "onScroll", 2.5,
+			b.op("decodeFile", decode, nil, app.ParseHeavy(ms(430)), 0.55, known),
+			b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(30), 6)),
+		),
+		action("Open Conversation", "onClick", 1.5,
+			b.selfOp("org.andstatus.app.data.MessageInserter", "transform", "MessageInserter.java", 371,
+				app.IOHeavy(ms(55), 12, ms(21)), 0.5, newIO),
+			b.quickUIOp("android.widget.TextView.setText"),
+		),
+		action("Preview Attachment", "onClick", 1.2,
+			b.op("prettify", prettify, nil, app.MemHeavy(ms(62), 2, ms(95), 26000), 0.5, newPF),
+			b.uiOp("android.widget.ImageView.setImageBitmap", app.UIWork(ms(42), 15)),
+		),
+		action("Refresh Menu", "onClick", 2, b.quickUIOp("android.view.LayoutInflater.inflate")),
+		action("Compose", "onClick", 1.5, b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(140), 13))),
+	}
+	return a
+}
+
+// dashClock: widget host. One bug a state-of-the-art offline tool also
+// finds: SharedPreferences.commit on the main thread.
+func dashClock(b *builder) *app.App {
+	commit := b.platform("android.content.SharedPreferences$Editor.commit")
+	known := bug("DashClock/874-commit", "874", "SharedPreferences.commit on configuration save")
+	a := &app.App{
+		Name: "DashClock", Commit: "7e248f7", Category: "Personalization", Downloads: "1M+",
+		Registry: b.reg, Bugs: []*app.Bug{known},
+	}
+	a.Actions = []*app.Action{
+		action("Save Settings", "onClick", 1.3,
+			b.op("commit", commit, nil, app.IOHeavy(ms(40), 9, ms(24)), 0.6, known),
+			b.quickUIOp("android.widget.TextView.setText"),
+		),
+		action("Open Settings", "onClick", 2, b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(120), 13))),
+		action("Cycle Extensions", "onScroll", 2.5, b.quickUIOp("android.widget.ListView.layoutChildren")),
+	}
+	return a
+}
+
+// cycleStreets: maps and routing. Four bugs: three unknown map-tile /
+// route-file I/O APIs (mapsforge is not documented blocking) and one known
+// FileInputStream.read. Map loading also runs legitimately heavy UI work,
+// which is what confuses utilization-threshold baselines (§4.4).
+func cycleStreets(b *builder) *app.App {
+	mapFile := b.class("org.mapsforge.map.reader.MapFile", false, "org.mapsforge", false)
+	readMap := b.api(mapFile, "readMapData", 612, 0)
+	tileLoader := b.class("net.cyclestreets.tiles.TileLoader", false, "", false)
+	fetchTile := b.api(tileLoader, "fetchTile", 88, 0)
+	routeStore := b.class("net.cyclestreets.content.RouteDataFile", false, "", false)
+	loadRoute := b.api(routeStore, "load", 140, 0)
+	read := b.platform("java.io.FileInputStream.read")
+
+	bugTiles := bug("CycleStreets/117-readMapData", "117", "mapsforge readMapData blocks on map pan")
+	bugFetch := bug("CycleStreets/117-fetchTile", "117", "tile fetch on main thread")
+	bugRoute := bug("CycleStreets/117-loadRoute", "117", "route data file load on main thread")
+	known := bug("CycleStreets/117-read", "117", "raw FileInputStream.read of GPX track")
+
+	a := &app.App{
+		Name: "CycleStreets", Commit: "2d8d550", Category: "Travel & Local", Downloads: "50K+",
+		Registry: b.reg, Bugs: []*app.Bug{bugTiles, bugFetch, bugRoute, known},
+	}
+	a.Actions = []*app.Action{
+		action("Pan Map", "onScroll", 2.5,
+			b.op("readMapData", readMap, nil, app.IOHeavy(ms(48), 11, ms(22)), 0.45, bugTiles),
+			b.uiOp("android.view.View.invalidate", app.UIWork(ms(70), 8)), // legit map redraw, sub-perceivable alone
+		),
+		action("Zoom Map", "onClick", 1.8,
+			b.op("fetchTile", fetchTile, nil, app.IOHeavy(ms(52), 13, ms(20)), 0.45, bugFetch),
+			b.uiOp("android.view.View.invalidate", app.UIWork(ms(60), 7)),
+		),
+		action("Open Route", "onClick", 1.2,
+			b.op("load", loadRoute, nil, app.IOHeavy(ms(45), 10, ms(24)), 0.5, bugRoute),
+			b.quickUIOp("android.widget.TextView.setText"),
+		),
+		action("Import Track", "onClick", 0.8,
+			b.op("read", read, nil, app.IOHeavy(ms(60), 12, ms(25)), 0.55, known),
+		),
+		action("Show Itinerary", "onClick", 2, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(95), 10))),
+	}
+	return a
+}
+
+// k9Mail: the paper's walk-through app (§4.3, Figures 6 and 7). Two unknown
+// parse bugs: org.htmlcleaner.HtmlCleaner.clean (issue 1007, ~1.3 s on heavy
+// HTML email) and mime4j MimeStreamParser.parse. Folders and Inbox are
+// UI-heavy actions; Inbox is tuned to occasionally trip the page-fault
+// condition so the Diagnoser must prune it (Figure 7's false positive).
+func k9Mail(b *builder) *app.App {
+	cleaner := b.class("org.htmlcleaner.HtmlCleaner", false, "org.htmlcleaner", false)
+	clean := b.api(cleaner, "clean", 25, 0)
+	sanitizer := b.class("com.fsck.k9.message.html.HtmlSanitizer", false, "", false)
+	sanitize := b.api(sanitizer, "sanitize", 25, 0)
+	mime := b.class("org.apache.james.mime4j.parser.MimeStreamParser", false, "org.apache.james.mime4j", false)
+	parse := b.api(mime, "parse", 946, 0)
+
+	bugClean := bug("K9-Mail/1007-clean", "1007", "HtmlCleaner.clean parses heavy HTML on main thread")
+	bugParse := bug("K9-Mail/1007-parse", "1007", "mime4j MimeStreamParser.parse on message open")
+
+	cleanCost := app.ParseHeavy(ms(980))
+	cleanCost.Jitter = 0.22
+
+	a := &app.App{
+		Name: "K9-Mail", Commit: "ac131a2", Category: "Communication", Downloads: "5M+",
+		Registry: b.reg, Bugs: []*app.Bug{bugClean, bugParse},
+	}
+	inboxUI := app.UIWork(ms(185), 18)
+	inboxUI.MinorFaultsPerSec = 6200 // main-side allocation spike: borderline pf diff
+	a.Actions = []*app.Action{
+		action("Open Email", "onClick", 1.6,
+			b.op("clean", clean, []*api.API{sanitize}, cleanCost, 0.5, bugClean),
+			b.quickUIOp("android.widget.TextView.setText"),
+		),
+		action("Download Attachment", "onClick", 0.9,
+			b.op("parse", parse, nil, app.ParseHeavy(ms(520)), 0.45, bugParse),
+		),
+		action("Folders", "onClick", 2,
+			b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(175), 19)),
+		),
+		action("Inbox", "onClick", 2.5,
+			b.uiOp("android.widget.ListView.layoutChildren", inboxUI),
+		),
+		action("Mark Read", "onClick", 2, b.quickUIOp("android.widget.TextView.setText")),
+	}
+	return a
+}
+
+// omniNotes: note taking. Three unknown bugs, all page-fault-signature:
+// mmap-backed note loading beside legitimate list rendering (Table 6 shows
+// Omni-Notes detected only by the page-fault counter).
+func omniNotes(b *builder) *app.App {
+	db := b.class("it.feio.android.omninotes.db.DbHelper", false, "", false)
+	getNotes := b.api(db, "getNotes", 409, 0)
+	getAttach := b.api(db, "getAttachments", 771, 0)
+	storage := b.class("it.feio.android.omninotes.utils.StorageHelper", false, "", false)
+	readMedia := b.api(storage, "readMediaIndex", 152, 0)
+
+	bug1 := bug("Omni-Notes/253-getNotes", "253", "mmap-backed note query faults heavily on main thread")
+	bug2 := bug("Omni-Notes/253-getAttachments", "253", "attachment query on note open")
+	bug3 := bug("Omni-Notes/253-readMediaIndex", "253", "media index scan on gallery open")
+
+	memCost := func(faults float64) app.CostModel {
+		return app.MemHeavy(ms(58), 2, ms(92), faults)
+	}
+	sibling := func() *app.Op {
+		return b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(45), 15))
+	}
+	a := &app.App{
+		Name: "Omni-Notes", Commit: "8ffde3a", Category: "Productivity", Downloads: "50K+",
+		Registry: b.reg, Bugs: []*app.Bug{bug1, bug2, bug3},
+	}
+	a.Actions = []*app.Action{
+		action("Open Note List", "onClick", 2,
+			b.op("getNotes", getNotes, nil, memCost(25000), 0.5, bug1), sibling()),
+		action("Open Note", "onClick", 1.6,
+			b.op("getAttachments", getAttach, nil, memCost(27000), 0.5, bug2), sibling()),
+		action("Open Gallery", "onClick", 1.1,
+			b.op("readMediaIndex", readMedia, nil, memCost(24000), 0.5, bug3), sibling()),
+		action("Edit Note", "onClick", 2.2, b.uiOp("android.widget.TextView.setText", app.UIWork(ms(105), 11))),
+		action("Search", "onClick", 1.5, b.quickUIOp("android.view.LayoutInflater.inflate")),
+	}
+	return a
+}
+
+// ownTracks: location diary. One bug an offline tool finds: a known
+// FileOutputStream.write nested in an open-source helper library (visible
+// to source scanning, hence MO = 0).
+func ownTracks(b *builder) *app.App {
+	write := b.platform("java.io.FileOutputStream.write")
+	prefsLib := b.class("org.owntracks.android.support.Preferences", false, "org.owntracks.support", false)
+	export := b.api(prefsLib, "exportToFile", 301, 0)
+	known := bug("OwnTracks/303-write", "303", "config export writes file via helper on main thread")
+
+	a := &app.App{
+		Name: "OwnTracks", Commit: "1514d4a", Category: "Travel & Local", Downloads: "1K+",
+		Registry: b.reg, Bugs: []*app.Bug{known},
+	}
+	a.Actions = []*app.Action{
+		action("Export Config", "onClick", 0.9,
+			b.op("write", write, []*api.API{export}, app.IOHeavy(ms(42), 10, ms(23)), 0.55, known)),
+		action("Show Map", "onClick", 2.4, b.uiOp("android.view.View.invalidate", app.UIWork(ms(115), 12))),
+		action("Contacts", "onClick", 2, b.quickUIOp("android.widget.ListView.layoutChildren")),
+	}
+	return a
+}
+
+// qksms: SMS client. Three unknown CPU-loop bugs (conversation formatting,
+// emoji substitution, backup serialization) — context-switch + task-clock
+// signature per Table 6.
+func qksms(b *builder) *app.App {
+	fmtC := b.class("com.moez.QKSMS.common.ConversationFormatter", false, "", false)
+	format := b.api(fmtC, "formatThread", 233, 0)
+	emoji := b.class("com.moez.QKSMS.common.EmojiRegistry", false, "", false)
+	substitute := b.api(emoji, "substitute", 87, 0)
+
+	bug1 := bug("QKSMS/382-formatThread", "382", "conversation formatting loop on main thread")
+	bug2 := bug("QKSMS/382-substitute", "382", "emoji substitution over full thread history")
+	bug3 := bug("QKSMS/382-backupLoop", "382", "self-developed backup serialization loop")
+
+	a := &app.App{
+		Name: "QKSMS", Commit: "2a80947", Category: "Communication", Downloads: "100K+",
+		Registry: b.reg, Bugs: []*app.Bug{bug1, bug2, bug3},
+	}
+	a.Actions = []*app.Action{
+		action("Open Conversation", "onClick", 2.3,
+			b.op("formatThread", format, nil, app.CPULoop(ms(360)), 0.5, bug1)),
+		action("Load Emoji", "onClick", 1.4,
+			b.op("substitute", substitute, nil, app.CPULoop(ms(300)), 0.5, bug2)),
+		action("Backup Messages", "onClick", 0.8,
+			b.selfOp("com.moez.QKSMS.backup.BackupTask", "serializeAll", "BackupTask.java", 516,
+				app.CPULoop(ms(420)), 0.55, bug3)),
+		action("Inbox List", "onScroll", 2.6, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(100), 11))),
+		action("Compose", "onClick", 2, b.quickUIOp("android.view.LayoutInflater.inflate")),
+	}
+	return a
+}
+
+// stickerCamera: photo editor. Three bugs offline tools also find: two
+// bitmap decodes and a camera open (all documented blocking APIs).
+func stickerCamera(b *builder) *app.App {
+	decodeFile := b.platform("android.graphics.BitmapFactory.decodeFile")
+	decodeStream := b.platform("android.graphics.BitmapFactory.decodeStream")
+	open := b.platform("android.hardware.Camera.open")
+
+	k1 := bug("StickerCamera/29-decodeFile", "29", "full-size photo decode on edit")
+	k2 := bug("StickerCamera/29-decodeStream", "29", "sticker sheet decode on picker open")
+	k3 := bug("StickerCamera/29-cameraOpen", "29", "camera open on resume")
+
+	a := &app.App{
+		Name: "StickerCamera", Commit: "6fc41b1", Category: "Photography", Downloads: "5K+",
+		Registry: b.reg, Bugs: []*app.Bug{k1, k2, k3},
+	}
+	a.Actions = []*app.Action{
+		action("Edit Photo", "onClick", 1.5,
+			b.op("decodeFile", decodeFile, nil, app.ParseHeavy(ms(340)), 0.55, k1)),
+		action("Open Stickers", "onClick", 1.3,
+			b.op("decodeStream", decodeStream, nil, app.ParseHeavy(ms(290)), 0.5, k2)),
+		action("Resume Camera", "onResume", 1.1,
+			b.op("open", open, nil, app.IOHeavy(ms(35), 9, ms(26)), 0.6, k3),
+			b.quickUIOp("android.view.LayoutInflater.inflate")),
+		action("Gallery", "onScroll", 2.4, b.uiOp("android.widget.ImageView.setImageBitmap", app.UIWork(ms(110), 12))),
+	}
+	return a
+}
+
+// antennaPod: podcast player. Two unknown CPU-loop bugs (feed parsing into
+// view models, chapter extraction) and one known MediaPlayer.prepare.
+func antennaPod(b *builder) *app.App {
+	prepare := b.platform("android.media.MediaPlayer.prepare")
+	feed := b.class("de.danoeh.antennapod.core.feed.FeedItemlistAdapter", false, "", false)
+	buildModels := b.api(feed, "buildViewModels", 1921, 0)
+	chapters := b.class("de.danoeh.antennapod.core.util.ChapterUtils", false, "", false)
+	extract := b.api(chapters, "extractChapters", 233, 0)
+
+	new1 := bug("AntennaPod/1921-buildViewModels", "1921", "feed view-model construction loop on main thread")
+	new2 := bug("AntennaPod/1921-extractChapters", "1921", "chapter extraction loop on episode open")
+	known := bug("AntennaPod/1921-prepare", "1921", "MediaPlayer.prepare on play")
+
+	a := &app.App{
+		Name: "AntennaPod", Commit: "c3808e2", Category: "Media & Video", Downloads: "100K+",
+		Registry: b.reg, Bugs: []*app.Bug{new1, new2, known},
+	}
+	a.Actions = []*app.Action{
+		action("Refresh Feed", "onClick", 2,
+			b.op("buildViewModels", buildModels, nil, app.CPULoop(ms(340)), 0.5, new1)),
+		{
+			Name: "Open Episode", Kind: "onClick", Weight: 1.7,
+			Events: []*app.InputEvent{
+				{Name: "evt0-show", Ops: []*app.Op{b.quickUIOp("android.view.LayoutInflater.inflate")}},
+				{Name: "evt1-chapters", Ops: []*app.Op{
+					b.op("extractChapters", extract, nil, app.CPULoop(ms(290)), 0.45, new2),
+				}},
+			},
+		},
+		action("Play Episode", "onClick", 1.4,
+			b.op("prepare", prepare, nil, app.IOHeavy(ms(45), 10, ms(24)), 0.55, known)),
+		action("Queue", "onScroll", 2.5, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(95), 10))),
+		action("Settings", "onClick", 1.2, b.quickUIOp("android.view.LayoutInflater.inflate")),
+	}
+	return a
+}
+
+// merchant: business dashboard. One unknown I/O bug: a report cache file
+// loaded through an undocumented storage API.
+func merchant(b *builder) *app.App {
+	store := b.class("com.qianmi.merchant.cache.ReportCache", false, "", false)
+	loadCache := b.api(store, "loadSnapshot", 17, 0)
+	new1 := bug("Merchant/17-loadSnapshot", "17", "report cache snapshot load on dashboard open")
+	a := &app.App{
+		Name: "Merchant", Commit: "c87d69a", Category: "Business", Downloads: "10K+",
+		Registry: b.reg, Bugs: []*app.Bug{new1},
+	}
+	a.Actions = []*app.Action{
+		action("Open Dashboard", "onClick", 1.6,
+			b.op("loadSnapshot", loadCache, nil, app.IOHeavy(ms(50), 12, ms(21)), 0.5, new1),
+			b.quickUIOp("android.widget.TextView.setText")),
+		action("Orders", "onScroll", 2.3, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(100), 11))),
+		action("Profile", "onClick", 1.5, b.quickUIOp("android.view.LayoutInflater.inflate")),
+	}
+	return a
+}
+
+// uoitdcBooking: room booking tool. Two unknown parse bugs (timetable JSON
+// and iCal parsing), both all-three signature.
+func uoitdcBooking(b *builder) *app.App {
+	jsonC := b.class("ca.uoit.dcbooking.TimetableParser", false, "", false)
+	parseTimetable := b.api(jsonC, "parseTimetable", 3, 0)
+	ical := b.class("ca.uoit.dcbooking.ICalImporter", false, "", false)
+	importIcal := b.api(ical, "importCalendar", 77, 0)
+
+	new1 := bug("UOITDC/3-parseTimetable", "3", "timetable JSON parse on booking screen")
+	new2 := bug("UOITDC/3-importCalendar", "3", "iCal import parse on sync")
+
+	a := &app.App{
+		Name: "UOITDC Booking", Commit: "5d18c26", Category: "Tools", Downloads: "100+",
+		Registry: b.reg, Bugs: []*app.Bug{new1, new2},
+	}
+	a.Actions = []*app.Action{
+		action("Open Booking", "onClick", 1.8,
+			b.op("parseTimetable", parseTimetable, nil, app.ParseHeavy(ms(430)), 0.5, new1)),
+		action("Sync Calendar", "onClick", 1.1,
+			b.op("importCalendar", importIcal, nil, app.ParseHeavy(ms(480)), 0.5, new2)),
+		action("Room List", "onScroll", 2.3, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(125), 12))),
+	}
+	return a
+}
+
+// sageMath: math client. Two unknown gson.toJson serialization bugs (~1 s on
+// large objects, §4.2) and one known SQLite insertWithOnConflict reached
+// through the open-source cupboard wrapper (visible to offline scanning).
+func sageMath(b *builder) *app.App {
+	gson := b.class("com.google.gson.Gson", false, "com.google.gson", false)
+	toJSON := b.api(gson, "toJson", 704, 0)
+	cupboard := b.class("nl.qbusict.cupboard.Cupboard", false, "nl.qbusict.cupboard", false)
+	get := b.api(cupboard, "get", 210, 0)
+	insert := b.platform("android.database.sqlite.SQLiteDatabase.insertWithOnConflict")
+
+	new1 := bug("SageMath/84-toJson-cell", "84", "gson.toJson of worksheet cell graph (~1 s)")
+	new2 := bug("SageMath/84-toJson-session", "84", "gson.toJson of session state on save")
+	known := bug("SageMath/84-cupboardGet", "84", "SQLite insertWithOnConflict via cupboard.get on main thread")
+
+	big := app.ParseHeavy(ms(820))
+	big.Jitter = 0.25
+	a := &app.App{
+		Name: "SageMath", Commit: "3198106", Category: "Education", Downloads: "10K+",
+		Registry: b.reg, Bugs: []*app.Bug{new1, new2, known},
+	}
+	a.Actions = []*app.Action{
+		action("Evaluate Cell", "onClick", 2,
+			b.op("toJson", toJSON, nil, big, 0.45, new1)),
+		action("Save Session", "onClick", 1.2,
+			b.op("toJson#2", toJSON, nil, app.ParseHeavy(ms(620)), 0.5, new2)),
+		action("Open Worksheet", "onClick", 1.5,
+			b.op("insertWithOnConflict", insert, []*api.API{get}, app.MemHeavy(ms(55), 3, ms(70), 16000), 0.5, known),
+			b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(40), 12))),
+		action("Browse Examples", "onScroll", 2.4, b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(105), 11))),
+	}
+	return a
+}
+
+// radioDroid: internet radio. One unknown memory-bound station-index bug
+// (page-fault signature) and one known MediaPlayer.prepare.
+func radioDroid(b *builder) *app.App {
+	prepare := b.platform("android.media.MediaPlayer.prepare")
+	idx := b.class("net.programmierecke.radiodroid.StationIndex", false, "", false)
+	rebuild := b.api(idx, "rebuildIndex", 29, 0)
+
+	new1 := bug("RadioDroid/29-rebuildIndex", "29", "station index rebuild faults heavily beside list render")
+	known := bug("RadioDroid/29-prepare", "29", "MediaPlayer.prepare on station play")
+
+	a := &app.App{
+		Name: "RadioDroid", Commit: "0108e8b", Category: "Music & Audio", Downloads: "10+",
+		Registry: b.reg, Bugs: []*app.Bug{new1, known},
+	}
+	a.Actions = []*app.Action{
+		action("Filter Stations", "onClick", 1.8,
+			b.op("rebuildIndex", rebuild, nil, app.MemHeavy(ms(60), 2, ms(88), 25000), 0.5, new1),
+			b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(45), 15))),
+		action("Play Station", "onClick", 1.5,
+			b.op("prepare", prepare, nil, app.IOHeavy(ms(42), 10, ms(25)), 0.5, known)),
+		action("Browse", "onScroll", 2.4, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(95), 10))),
+	}
+	return a
+}
+
+// gitOSC: git client. One unknown I/O bug: repository metadata refresh.
+func gitOSC(b *builder) *app.App {
+	repo := b.class("net.oschina.gitapp.api.RepositoryCache", false, "", false)
+	refresh := b.api(repo, "refreshMetadata", 89, 0)
+	new1 := bug("Git@OSC/89-refreshMetadata", "89", "repository metadata refresh I/O on project open")
+	a := &app.App{
+		Name: "Git@OSC", Commit: "bb80e0a95", Category: "Tools", Downloads: "10K+",
+		Registry: b.reg, Bugs: []*app.Bug{new1},
+	}
+	a.Actions = []*app.Action{
+		action("Open Project", "onClick", 1.7,
+			b.op("refreshMetadata", refresh, nil, app.IOHeavy(ms(52), 12, ms(20)), 0.5, new1),
+			b.quickUIOp("android.widget.TextView.setText")),
+		action("Commits List", "onScroll", 2.3, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(100), 11))),
+		action("Explore", "onClick", 1.8, b.quickUIOp("android.view.LayoutInflater.inflate")),
+	}
+	return a
+}
+
+// lensLauncher: launcher. One bug offline tools find: bitmap decode nested
+// in an open-source icon helper (visible chain, MO = 0).
+func lensLauncher(b *builder) *app.App {
+	decode := b.platform("android.graphics.BitmapFactory.decodeStream")
+	iconLib := b.class("com.nickrout.lenslauncher.util.IconPackManager", false, "iconpack", false)
+	loadIcon := b.api(iconLib, "loadIconBitmap", 15, 0)
+	known := bug("Lens-Launcher/15-decodeStream", "15", "icon bitmap decode via icon pack helper on app grid")
+	a := &app.App{
+		Name: "Lens-Launcher", Commit: "e41e6c6", Category: "Personalization", Downloads: "100K+",
+		Registry: b.reg, Bugs: []*app.Bug{known},
+	}
+	a.Actions = []*app.Action{
+		action("Load App Grid", "onResume", 2,
+			b.op("decodeStream", decode, []*api.API{loadIcon}, app.ParseHeavy(ms(310)), 0.5, known),
+			b.uiOp("android.view.View.invalidate", app.UIWork(ms(40), 9))),
+		action("Swipe Lens", "onScroll", 2.6, b.uiOp("android.view.View.invalidate", app.UIWork(ms(105), 12))),
+		action("Settings", "onClick", 1.2, b.quickUIOp("android.view.LayoutInflater.inflate")),
+	}
+	return a
+}
+
+// skyTube: YouTube client. One unknown parse bug: video metadata
+// deserialization on channel open (all-three signature).
+func skyTube(b *builder) *app.App {
+	meta := b.class("free.rm.skytube.businessobjects.VideoMetadataCodec", false, "", false)
+	decodeMeta := b.api(meta, "decodeChannelFeed", 88, 0)
+	new1 := bug("SkyTube/88-decodeChannelFeed", "88", "channel feed metadata parse on channel open")
+	a := &app.App{
+		Name: "SkyTube", Commit: "3da671c", Category: "Video Players", Downloads: "5K+",
+		Registry: b.reg, Bugs: []*app.Bug{new1},
+	}
+	a.Actions = []*app.Action{
+		action("Open Channel", "onClick", 1.8,
+			b.op("decodeChannelFeed", decodeMeta, nil, app.ParseHeavy(ms(460)), 0.5, new1)),
+		action("Trending", "onScroll", 2.4, b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(110), 12))),
+		action("Search", "onClick", 1.6, b.quickUIOp("android.view.LayoutInflater.inflate")),
+	}
+	return a
+}

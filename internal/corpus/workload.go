@@ -1,0 +1,108 @@
+package corpus
+
+import (
+	"fmt"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/simrand"
+)
+
+// UserProfile shapes how one user drives an app over days: how often they
+// pick it up, how long they stay, and when they are awake. The paper's
+// field study (20 users, 60 days) is modeled as a mix of these.
+type UserProfile struct {
+	Name string
+	// SessionsPerDay is the mean number of app sessions per day.
+	SessionsPerDay float64
+	// ActionsPerSession is the mean actions per session (geometric-ish).
+	ActionsPerSession float64
+	// Think is the median gap between actions within a session.
+	Think simclock.Duration
+	// WakeHour and SleepHour bound the daily activity window.
+	WakeHour, SleepHour int
+}
+
+// DefaultProfiles returns the light/regular/power mix used by the
+// longitudinal experiments.
+func DefaultProfiles() []UserProfile {
+	return []UserProfile{
+		{Name: "light", SessionsPerDay: 2, ActionsPerSession: 5, Think: 4 * simclock.Second, WakeHour: 8, SleepHour: 22},
+		{Name: "regular", SessionsPerDay: 5, ActionsPerSession: 9, Think: 2 * simclock.Second, WakeHour: 7, SleepHour: 23},
+		{Name: "power", SessionsPerDay: 10, ActionsPerSession: 14, Think: simclock.Second, WakeHour: 6, SleepHour: 24},
+	}
+}
+
+// TimedAction is one scheduled user action in a longitudinal trace.
+type TimedAction struct {
+	At     simclock.Time
+	Action *app.Action
+}
+
+// LongitudinalTrace lays out days of usage for one user on one app:
+// sessions scattered through the user's waking hours, weighted action picks
+// inside each session. The result is sorted by time and deterministic per
+// (app, profile, seed).
+func LongitudinalTrace(a *app.App, p UserProfile, seed uint64, days int) []TimedAction {
+	rng := simrand.New(seed).Derive(fmt.Sprintf("longitudinal/%s/%s", a.Name, p.Name))
+	weights := make([]float64, len(a.Actions))
+	for i, act := range a.Actions {
+		weights[i] = act.Weight
+	}
+	var out []TimedAction
+	for day := 0; day < days; day++ {
+		dayStart := simclock.Time(day) * simclock.Time(simclock.Day)
+		nSessions := int(rng.Jitter(p.SessionsPerDay, 0.4) + 0.5)
+		if nSessions < 1 {
+			nSessions = 1
+		}
+		wakeSpanHours := p.SleepHour - p.WakeHour
+		if wakeSpanHours <= 0 {
+			wakeSpanHours = 14
+		}
+		for s := 0; s < nSessions; s++ {
+			// Session start uniform in the waking window.
+			offset := simclock.Duration(p.WakeHour)*simclock.Hour +
+				simclock.Duration(rng.Int63n(int64(wakeSpanHours)*int64(simclock.Hour)))
+			at := dayStart.Add(offset)
+			nActions := int(rng.Jitter(p.ActionsPerSession, 0.5) + 0.5)
+			if nActions < 1 {
+				nActions = 1
+			}
+			for k := 0; k < nActions; k++ {
+				out = append(out, TimedAction{At: at, Action: a.Actions[rng.WeightedPick(weights)]})
+				at = at.Add(simclock.Duration(rng.Jitter(float64(p.Think), 0.5)))
+			}
+		}
+	}
+	// Sessions were generated per-day in time order except within a day;
+	// sort by time (stable outcome since times are distinct with
+	// probability ~1; ties keep generation order).
+	sortTimedActions(out)
+	return out
+}
+
+// sortTimedActions sorts by At, keeping generation order on ties
+// (insertion-friendly: traces are near-sorted already).
+func sortTimedActions(ta []TimedAction) {
+	for i := 1; i < len(ta); i++ {
+		for j := i; j > 0 && ta[j].At < ta[j-1].At; j-- {
+			ta[j], ta[j-1] = ta[j-1], ta[j]
+		}
+	}
+}
+
+// RunLongitudinal executes a timed trace on a session, advancing virtual
+// time to each action's scheduled slot (a Perform can overrun its slot; in
+// that case the next action follows immediately, like a real impatient
+// user). It returns the execution records aligned with the trace.
+func RunLongitudinal(s *app.Session, trace []TimedAction) []*app.ActionExec {
+	execs := make([]*app.ActionExec, 0, len(trace))
+	for _, ta := range trace {
+		if now := s.Clk.Now(); ta.At > now {
+			s.Idle(ta.At.Sub(now))
+		}
+		execs = append(execs, s.Perform(ta.Action))
+	}
+	return execs
+}

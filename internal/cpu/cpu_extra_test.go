@@ -1,0 +1,219 @@
+package cpu
+
+import (
+	"testing"
+
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/stack"
+)
+
+func TestStateString(t *testing.T) {
+	cases := map[State]string{
+		Waiting: "waiting", Runnable: "runnable", Running: "running",
+		Blocked: "blocked", Dead: "dead", State(99): "state(99)",
+	}
+	for s, want := range cases {
+		if got := s.String(); got != want {
+			t.Errorf("State(%d).String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func TestSetTimeslice(t *testing.T) {
+	clk, s := newSched(1)
+	s.SetTimeslice(2 * simclock.Millisecond)
+	a := s.NewThread("a")
+	b := s.NewThread("b")
+	a.Enqueue(Compute{Dur: 20 * simclock.Millisecond})
+	b.Enqueue(Compute{Dur: 20 * simclock.Millisecond})
+	drain(t, clk)
+	// With a 2ms slice, contention forces many more preemptions than the
+	// default 10ms would.
+	if got := a.Counters().InvoluntaryCtxSwitch; got < 8 {
+		t.Fatalf("short slice produced only %d preemptions", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive timeslice accepted")
+		}
+	}()
+	s.SetTimeslice(0)
+}
+
+func TestExitBlockedThreadCancelsWake(t *testing.T) {
+	clk, s := newSched(1)
+	th := s.NewThread("io")
+	th.Enqueue(Block{Dur: 50 * simclock.Millisecond})
+	clk.At(10*1e6, func() { th.Exit() })
+	drain(t, clk)
+	if th.State() != Dead {
+		t.Fatalf("state = %v", th.State())
+	}
+	// The wake event must not resurrect the thread.
+	if clk.Now() > simclock.Time(15*simclock.Millisecond) {
+		t.Fatalf("clock ran to %v; cancelled wake event leaked", clk.Now())
+	}
+}
+
+func TestExitRunnableThread(t *testing.T) {
+	clk, s := newSched(1)
+	a := s.NewThread("a")
+	b := s.NewThread("b")
+	a.Enqueue(Compute{Dur: 30 * simclock.Millisecond})
+	b.Enqueue(Compute{Dur: 30 * simclock.Millisecond})
+	// b starts Runnable (a holds the core); kill it before it ever runs.
+	if b.State() != Runnable {
+		t.Fatalf("b state = %v", b.State())
+	}
+	b.Exit()
+	drain(t, clk)
+	if got := b.Counters().TaskClock; got != 0 {
+		t.Fatalf("dead-before-running thread accrued %d ns", got)
+	}
+	if clk.Now() != simclock.Time(30*simclock.Millisecond) {
+		t.Fatalf("end = %v", clk.Now())
+	}
+}
+
+func TestEnqueueNothingIsNoop(t *testing.T) {
+	_, s := newSched(1)
+	th := s.NewThread("x")
+	th.Enqueue()
+	if th.State() != Waiting {
+		t.Fatalf("state = %v", th.State())
+	}
+}
+
+func TestQueueLen(t *testing.T) {
+	clk, s := newSched(1)
+	th := s.NewThread("x")
+	th.Enqueue(Compute{Dur: 10 * simclock.Millisecond}, Compute{Dur: 10 * simclock.Millisecond})
+	if got := th.QueueLen(); got != 2 {
+		t.Fatalf("QueueLen = %d", got)
+	}
+	drain(t, clk)
+	if got := th.QueueLen(); got != 0 {
+		t.Fatalf("QueueLen after drain = %d", got)
+	}
+}
+
+func TestBlockUntilStackVisible(t *testing.T) {
+	clk, s := newSched(1)
+	th := s.NewThread("r")
+	st := stack.New(stack.Frame{Class: "a.Vsync", Method: "wait"})
+	th.Enqueue(BlockUntil{At: simclock.Time(20 * simclock.Millisecond), Stack: st})
+	clk.At(10*1e6, func() {
+		if got := th.CurrentStack(); got != st {
+			t.Errorf("stack during BlockUntil = %v", got)
+		}
+	})
+	drain(t, clk)
+}
+
+func TestCallExitingOwnThread(t *testing.T) {
+	clk, s := newSched(1)
+	th := s.NewThread("suicidal")
+	ran := false
+	th.Enqueue(
+		Call{Fn: func() { th.Exit() }},
+		Compute{Dur: simclock.Millisecond},
+		Call{Fn: func() { ran = true }},
+	)
+	drain(t, clk)
+	if th.State() != Dead {
+		t.Fatalf("state = %v", th.State())
+	}
+	if ran {
+		t.Fatal("segments after self-exit still ran")
+	}
+}
+
+func TestOnIdleRunawayGuard(t *testing.T) {
+	clk, s := newSched(1)
+	th := s.NewThread("runaway")
+	// An OnIdle that refills with only zero-duration work must trip the
+	// inline-step budget instead of hanging the simulation.
+	th.SetOnIdle(func() {
+		th.Enqueue(Call{Fn: func() {}})
+	})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("runaway OnIdle loop not caught")
+		}
+	}()
+	th.Enqueue(Call{Fn: func() {}})
+	drain(t, clk)
+}
+
+func TestTracerNilSafe(t *testing.T) {
+	clk, s := newSched(1)
+	s.SetTracer(nil)
+	th := s.NewThread("x")
+	th.Enqueue(Compute{Dur: simclock.Millisecond}, Block{Dur: simclock.Millisecond})
+	drain(t, clk)
+}
+
+type countingTracer struct{ sched, desched int }
+
+func (c *countingTracer) ThreadScheduled(t *Thread, core int, at simclock.Time) { c.sched++ }
+func (c *countingTracer) ThreadDescheduled(t *Thread, at simclock.Time, r DeschedReason) {
+	c.desched++
+}
+
+func TestTracerBalancedEvents(t *testing.T) {
+	clk, s := newSched(2)
+	tr := &countingTracer{}
+	s.SetTracer(tr)
+	for i := 0; i < 3; i++ {
+		th := s.NewThread("t")
+		th.Enqueue(
+			Compute{Dur: 8 * simclock.Millisecond},
+			Block{Dur: 4 * simclock.Millisecond},
+			Compute{Dur: 8 * simclock.Millisecond},
+		)
+	}
+	drain(t, clk)
+	if tr.sched == 0 || tr.sched != tr.desched {
+		t.Fatalf("unbalanced tracer events: sched=%d desched=%d", tr.sched, tr.desched)
+	}
+}
+
+func TestBusyNsMidRun(t *testing.T) {
+	clk, s := newSched(1)
+	th := s.NewThread("x")
+	th.Enqueue(Compute{Dur: 40 * simclock.Millisecond})
+	clk.At(25*1e6, func() {
+		if got := s.BusyNs(); got != int64(25*simclock.Millisecond) {
+			t.Errorf("BusyNs mid-run = %d", got)
+		}
+	})
+	drain(t, clk)
+	if got := s.BusyNs(); got != int64(40*simclock.Millisecond) {
+		t.Fatalf("BusyNs = %d", got)
+	}
+}
+
+func TestWakeAffinityReducesMigrations(t *testing.T) {
+	// A thread that blocks repeatedly on an otherwise idle 2-core machine
+	// should keep returning to the same core.
+	clk, s := newSched(2)
+	th := s.NewThread("io")
+	var segs []Segment
+	for i := 0; i < 10; i++ {
+		segs = append(segs, Compute{Dur: simclock.Millisecond}, Block{Dur: simclock.Millisecond})
+	}
+	th.Enqueue(segs...)
+	drain(t, clk)
+	if got := th.Counters().Migrations; got != 0 {
+		t.Fatalf("uncontended wake migrated %d times; affinity broken", got)
+	}
+}
+
+func TestZeroCoreSchedulerPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(simclock.New(), 0)
+}

@@ -1,0 +1,186 @@
+// Package detect provides the runtime-detection framework the paper's
+// evaluation (§4) compares Hang Doctor against: the Detector interface and
+// its accounting (traced incidents, simulated monitoring cost), the
+// Timeout-based (TI) and Utilization-based (UTL/UTH, alone or +TI)
+// baselines, the PerfChecker-style offline scanner, and the harness that
+// runs a user trace under a detector and scores true/false positives,
+// false negatives, and overhead.
+package detect
+
+import (
+	"sort"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/simclock"
+)
+
+// PerceivableDelay is the minimum human-perceivable delay (100 ms) that
+// defines a soft hang throughout the paper.
+const PerceivableDelay = 100 * simclock.Millisecond
+
+// Monitoring cost model, in simulated nanoseconds of detector CPU and bytes
+// of detector memory. The constants model the concrete mechanisms each
+// detector uses on a real phone; the detectors account them but do not
+// inject them into the scheduler, so every detector observes the identical
+// app trace (the paper's "same app user traces" comparison).
+const (
+	// CostUtilSampleNs: read and parse /proc/<pid>/stat and io for the
+	// monitored threads.
+	CostUtilSampleNs = 2_000_000
+	// CostStackSampleNs: trigger and symbolize one main-thread stack dump.
+	CostStackSampleNs = 1_500_000
+	// CostWatchdogNs: arm/disarm the per-event response-time watchdog.
+	CostWatchdogNs = 4_000
+
+	// BytesPerStackSample: one retained stack trace.
+	BytesPerStackSample = 2048
+	// BytesPerUtilSample: one utilization log record.
+	BytesPerUtilSample = 64
+	// AppFootprintBytes: nominal resident footprint of the host app, the
+	// denominator of the memory-overhead percentage.
+	AppFootprintBytes = 64 << 20
+)
+
+// StackSamplePeriod is the interval at which trace collectors sample the
+// main thread during a soft hang (the paper's Figure 6 shows ~60 samples
+// over a 1.3 s hang).
+const StackSamplePeriod = 20 * simclock.Millisecond
+
+// TracedHang is one tracing incident a detector committed resources to: it
+// collected stack traces attributing a (suspected) soft hang.
+type TracedHang struct {
+	At           simclock.Time
+	Exec         *app.ActionExec
+	ResponseTime simclock.Duration
+	// RootCause is the detector's diagnosis (class.method), "" if the
+	// detector does not diagnose (baselines).
+	RootCause string
+	// RootCauseIsBug is the detector's verdict when it diagnoses.
+	RootCauseIsBug bool
+}
+
+// Log accumulates a detector's incidents and resource usage.
+type Log struct {
+	Traced  []TracedHang
+	CostNs  int64
+	MemUsed int64
+	// Inject, when set by the harness, turns accounted costs into real
+	// simulated CPU work on a monitoring thread, so monitoring contends
+	// with the app it observes (the §4.5 responsiveness-impact check).
+	Inject func(ns int64)
+}
+
+// AddCost charges detector CPU time.
+func (l *Log) AddCost(ns int64) {
+	l.CostNs += ns
+	if l.Inject != nil {
+		l.Inject(ns)
+	}
+}
+
+// AddMem charges detector memory.
+func (l *Log) AddMem(bytes int64) { l.MemUsed += bytes }
+
+// Trace records an incident.
+func (l *Log) Trace(h TracedHang) { l.Traced = append(l.Traced, h) }
+
+// Detector is a runtime soft-hang detector attached to an app session. It
+// observes the session through the app.Listener hooks plus any clock timers
+// it arms, and reports incidents through its Log.
+type Detector interface {
+	app.Listener
+	Name() string
+	Log() *Log
+	// Attach binds the detector to a session before the trace runs.
+	Attach(s *app.Session)
+	// Detach releases timers after the trace.
+	Detach()
+}
+
+// Eval scores a detector's log against ground truth.
+type Eval struct {
+	Detector string
+	// TP: traced incidents whose execution manifested a soft hang bug.
+	TP int
+	// FP: traced incidents not attributable to a bug.
+	FP int
+	// FN: ground-truth bug-hang occurrences the detector did not trace.
+	FN int
+	// GroundTruthHangs is the number of bug-caused soft hang occurrences in
+	// the trace (TP + FN).
+	GroundTruthHangs int
+	// UIHangs is the number of UI-caused soft hang occurrences.
+	UIHangs int
+	// BugsFound is the set of distinct bug IDs covered by TP incidents.
+	BugsFound map[string]bool
+}
+
+// Evaluate scores log entries against the executed trace. True positives
+// and false negatives are counted per execution (an execution whose bug
+// hang was traced at least once is covered). False positives are counted
+// per *incident*: every tracing episode a detector commits to a non-bug
+// cause costs real overhead and developer attention, which is how the paper
+// compares UTL's flood of episodes against TI's one-per-hang (§4.4).
+func Evaluate(name string, log *Log, execs []*app.ActionExec) Eval {
+	ev := Eval{Detector: name, BugsFound: map[string]bool{}}
+	tracedExecs := map[*app.ActionExec]bool{}
+	for _, h := range log.Traced {
+		if h.Exec != nil {
+			if b := h.Exec.BugCaused(PerceivableDelay); b != nil {
+				if !tracedExecs[h.Exec] {
+					tracedExecs[h.Exec] = true
+					ev.TP++
+					ev.BugsFound[b.ID] = true
+				}
+				continue
+			}
+		}
+		ev.FP++
+	}
+	for _, e := range execs {
+		hang := e.ResponseTime() > PerceivableDelay
+		if !hang {
+			continue
+		}
+		if e.BugCaused(PerceivableDelay) != nil {
+			ev.GroundTruthHangs++
+			if !tracedExecs[e] {
+				ev.FN++
+			}
+		} else {
+			ev.UIHangs++
+		}
+	}
+	return ev
+}
+
+// BugIDs returns the sorted distinct bug IDs found.
+func (e Eval) BugIDs() []string {
+	out := make([]string, 0, len(e.BugsFound))
+	for id := range e.BugsFound {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Overhead is the paper's §4.5 resource-usage metric: the average of the
+// CPU and memory increase percentages caused by the detector.
+type Overhead struct {
+	CPUPct float64
+	MemPct float64
+}
+
+// Avg returns the combined overhead percentage.
+func (o Overhead) Avg() float64 { return (o.CPUPct + o.MemPct) / 2 }
+
+// ComputeOverhead relates a detector's cost to the app's own resource use
+// over the trace: appCPUNs is the CPU consumed by the app's threads.
+func ComputeOverhead(log *Log, appCPUNs int64) Overhead {
+	var o Overhead
+	if appCPUNs > 0 {
+		o.CPUPct = 100 * float64(log.CostNs) / float64(appCPUNs)
+	}
+	o.MemPct = 100 * float64(log.MemUsed) / float64(AppFootprintBytes)
+	return o
+}

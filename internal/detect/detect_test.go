@@ -1,0 +1,234 @@
+package detect
+
+import (
+	"testing"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/simclock"
+)
+
+func kit(t *testing.T) (*corpus.Corpus, *app.App) {
+	t.Helper()
+	c := corpus.Build()
+	return c, c.MustApp("K9-Mail")
+}
+
+func TestTimeout100TracesEveryHang(t *testing.T) {
+	_, a := kit(t)
+	ti := NewTimeout(PerceivableDelay)
+	h, err := NewHarness(a, app.LGV10(), 21, ti)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Run(corpus.Trace(a, 4, 80), simclock.Second)
+	ev := h.Evaluate(ti)
+	if ev.FN != 0 {
+		t.Fatalf("TI-100ms FN = %d, want 0 (it traces every soft hang)", ev.FN)
+	}
+	if ev.TP == 0 || ev.FP == 0 {
+		t.Fatalf("TI-100ms TP=%d FP=%d; expected both positive on K9", ev.TP, ev.FP)
+	}
+	// Incidents must equal soft hang occurrences.
+	if got := ev.TP + ev.FP; got != ev.GroundTruthHangs+ev.UIHangs {
+		t.Fatalf("incidents=%d, hangs=%d", got, ev.GroundTruthHangs+ev.UIHangs)
+	}
+}
+
+func TestTimeoutSweepMonotonic(t *testing.T) {
+	_, a := kit(t)
+	timeouts := []simclock.Duration{
+		PerceivableDelay, 500 * simclock.Millisecond, simclock.Second, 5 * simclock.Second,
+	}
+	var tps, fps []int
+	for _, d := range timeouts {
+		ti := NewTimeout(d)
+		h, err := NewHarness(a, app.LGV10(), 21, ti)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Run(corpus.Trace(a, 4, 80), simclock.Second)
+		ev := h.Evaluate(ti)
+		tps = append(tps, ev.TP)
+		fps = append(fps, ev.FP)
+	}
+	for i := 1; i < len(tps); i++ {
+		if tps[i] > tps[i-1] || fps[i] > fps[i-1] {
+			t.Fatalf("longer timeout found more: TP=%v FP=%v", tps, fps)
+		}
+	}
+	if tps[3] != 0 || fps[3] != 0 {
+		t.Fatalf("5s timeout should find nothing: TP=%d FP=%d", tps[3], fps[3])
+	}
+	if tps[0] <= tps[2] {
+		t.Fatalf("100ms should find strictly more than 1s: %v", tps)
+	}
+}
+
+func TestOfflineScanBlindSpots(t *testing.T) {
+	c, _ := kit(t)
+	// K9: both bugs are undocumented APIs → zero bug findings.
+	if bugs := OfflineDetectedBugs(c.MustApp("K9-Mail"), c.Registry); len(bugs) != 0 {
+		t.Fatalf("offline found K9 bugs: %v", bugs)
+	}
+	// StickerCamera: all three bugs are documented platform APIs.
+	if bugs := OfflineDetectedBugs(c.MustApp("StickerCamera"), c.Registry); len(bugs) != 3 {
+		t.Fatalf("offline found %d StickerCamera bugs, want 3", len(bugs))
+	}
+	// SageMath: only the open-library-nested SQLite call is visible.
+	bugs := OfflineDetectedBugs(c.MustApp("SageMath"), c.Registry)
+	if len(bugs) != 1 || bugs[0].ID != "SageMath/84-cupboardGet" {
+		t.Fatalf("SageMath offline bugs = %v", bugs)
+	}
+	// Feedback loop: teach the database about clean, rescan K9.
+	c.Registry.AddKnownBlocking("org.htmlcleaner.HtmlCleaner.clean")
+	if bugs := OfflineDetectedBugs(c.MustApp("K9-Mail"), c.Registry); len(bugs) != 1 {
+		t.Fatalf("after feedback, offline K9 bugs = %d, want 1", len(bugs))
+	}
+}
+
+func TestOfflineScanIgnoresUIOps(t *testing.T) {
+	c, a := kit(t)
+	for _, f := range OfflineScan(a, c.Registry) {
+		if f.Op.IsUI(c.Registry) {
+			t.Fatalf("offline flagged UI op %s", f.Op.Name)
+		}
+	}
+}
+
+func TestCalibrateUTAndDetectionTradeoffs(t *testing.T) {
+	// CycleStreets is the paper's example of an app that confuses
+	// utilization baselines: its I/O-bound bugs have quiet windows (UTH
+	// misses them) while legitimate map redraws run hot (UTL floods).
+	c := corpus.Build()
+	a := c.MustApp("CycleStreets")
+	trace := corpus.Trace(a, 4, 80)
+	low, high, err := CalibrateUT(a, app.LGV10(), 77, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if low.CPU <= 0 || low.CPU >= high.CPU {
+		t.Fatalf("thresholds: low=%+v high=%+v", low, high)
+	}
+
+	run := func(d Detector) Eval {
+		h, err := NewHarness(a, app.LGV10(), 21, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Run(trace, simclock.Second)
+		return h.Evaluate(d)
+	}
+	utl := run(NewUtilization("UTL", low, false, 0))
+	uth := run(NewUtilization("UTH", high, false, 0))
+	ti := run(NewTimeout(PerceivableDelay))
+
+	// UTL catches bugs but floods false positives relative to TI (§4.4:
+	// 8-22x); UTH prunes FPs but misses most bugs.
+	if utl.FP <= ti.FP {
+		t.Fatalf("UTL FP=%d should exceed TI FP=%d", utl.FP, ti.FP)
+	}
+	if utl.FN > ti.FN+2 {
+		t.Fatalf("UTL FN=%d should be near zero (TI FN=%d)", utl.FN, ti.FN)
+	}
+	if uth.TP >= ti.TP {
+		t.Fatalf("UTH TP=%d should miss bugs vs TI TP=%d", uth.TP, ti.TP)
+	}
+	if uth.FP > utl.FP/4 {
+		t.Fatalf("UTH FP=%d not much lower than UTL FP=%d", uth.FP, utl.FP)
+	}
+}
+
+func TestOverheadOrdering(t *testing.T) {
+	_, a := kit(t)
+	trace := corpus.Trace(a, 4, 60)
+	low, high, err := CalibrateUT(a, app.LGV10(), 77, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overhead := func(d Detector) float64 {
+		h, err := NewHarness(a, app.LGV10(), 21, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Run(trace, simclock.Second)
+		return h.Overhead(d).Avg()
+	}
+	utl := overhead(NewUtilization("UTL", low, false, 0))
+	uth := overhead(NewUtilization("UTH", high, false, 0))
+	ti := overhead(NewTimeout(PerceivableDelay))
+	uthTI := overhead(NewUtilization("UTH", high, true, 0))
+
+	// Figure 8(c) ordering: UTL > UTH > TI > UTH+TI.
+	if !(utl > uth && uth > ti && ti > uthTI) {
+		t.Fatalf("overhead ordering violated: UTL=%.2f UTH=%.2f TI=%.2f UTH+TI=%.2f",
+			utl, uth, ti, uthTI)
+	}
+}
+
+func TestEvaluateSemantics(t *testing.T) {
+	// Synthetic: one bug hang traced, one missed, one UI hang traced.
+	c, a := kit(t)
+	_ = c
+	s, err := app.NewSession(a, app.LGV10().Quiet(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs []*app.ActionExec
+	open := a.MustAction("Open Email")
+	folders := a.MustAction("Folders")
+	for len(execs) < 6 {
+		execs = append(execs, s.Perform(open))
+		s.Idle(simclock.Second)
+		execs = append(execs, s.Perform(folders))
+		s.Idle(simclock.Second)
+	}
+	var bugExecs, uiExecs []*app.ActionExec
+	for _, e := range execs {
+		if e.ResponseTime() <= PerceivableDelay {
+			continue
+		}
+		if e.BugCaused(PerceivableDelay) != nil {
+			bugExecs = append(bugExecs, e)
+		} else {
+			uiExecs = append(uiExecs, e)
+		}
+	}
+	if len(bugExecs) < 2 || len(uiExecs) < 1 {
+		t.Skipf("trace variety insufficient: %d bug, %d ui", len(bugExecs), len(uiExecs))
+	}
+	log := &Log{}
+	log.Trace(TracedHang{Exec: bugExecs[0]})
+	log.Trace(TracedHang{Exec: bugExecs[0]}) // duplicate: must not double count
+	log.Trace(TracedHang{Exec: uiExecs[0]})
+	ev := Evaluate("synthetic", log, execs)
+	if ev.TP != 1 {
+		t.Fatalf("TP = %d, want 1", ev.TP)
+	}
+	if ev.FP != 1 {
+		t.Fatalf("FP = %d, want 1", ev.FP)
+	}
+	if ev.FN != len(bugExecs)-1 {
+		t.Fatalf("FN = %d, want %d", ev.FN, len(bugExecs)-1)
+	}
+	if len(ev.BugIDs()) != 1 {
+		t.Fatalf("BugIDs = %v", ev.BugIDs())
+	}
+}
+
+func TestComputeOverhead(t *testing.T) {
+	log := &Log{CostNs: 50, MemUsed: AppFootprintBytes / 10}
+	o := ComputeOverhead(log, 1000)
+	if o.CPUPct != 5 {
+		t.Fatalf("CPUPct = %v", o.CPUPct)
+	}
+	if o.MemPct < 9.99 || o.MemPct > 10.01 {
+		t.Fatalf("MemPct = %v", o.MemPct)
+	}
+	if o.Avg() < 7.49 || o.Avg() > 7.51 {
+		t.Fatalf("Avg = %v", o.Avg())
+	}
+	if z := ComputeOverhead(&Log{CostNs: 5}, 0); z.CPUPct != 0 {
+		t.Fatalf("zero denominator mishandled: %+v", z)
+	}
+}

@@ -1,0 +1,52 @@
+package detect
+
+import (
+	"hangdoctor/internal/android/api"
+	"hangdoctor/internal/android/app"
+)
+
+// OfflineFinding is one hit of the offline source scanner: a main-thread
+// call site whose visible call chain reaches a known blocking API.
+type OfflineFinding struct {
+	Action *app.Action
+	Op     *app.Op
+	// API is the known-blocking API that matched.
+	API *api.API
+}
+
+// OfflineScan models PerfChecker-style offline detection (Liu et al., §2.2):
+// statically walk every operation reachable from the app's main-thread
+// handlers and report calls whose *visible* chain contains an API in the
+// known-blocking database. The three blind spots the paper identifies fall
+// out of the model directly:
+//
+//   - undocumented blocking APIs are not in the database → no match;
+//   - a known API hidden behind a closed-source library is outside the
+//     visible chain → no match;
+//   - self-developed lengthy operations have no API to match at all.
+func OfflineScan(a *app.App, reg *api.Registry) []OfflineFinding {
+	var out []OfflineFinding
+	for _, act := range a.Actions {
+		for _, op := range act.Ops() {
+			for _, vis := range op.VisibleAPIs() {
+				if reg.IsKnownBlocking(vis.Key()) {
+					out = append(out, OfflineFinding{Action: act, Op: op, API: vis})
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// OfflineDetectedBugs returns the seeded bugs an offline scan of the app
+// finds (the complement of the paper's "MO" column).
+func OfflineDetectedBugs(a *app.App, reg *api.Registry) []*app.Bug {
+	var out []*app.Bug
+	for _, f := range OfflineScan(a, reg) {
+		if f.Op.Bug != nil {
+			out = append(out, f.Op.Bug)
+		}
+	}
+	return out
+}

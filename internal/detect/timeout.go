@@ -1,0 +1,81 @@
+package detect
+
+import (
+	"fmt"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/simclock"
+)
+
+// Timeout is the TImeout-based (TI) baseline of §4.1: it arms a watchdog for
+// every input event and, when the response time passes the timeout, collects
+// main-thread stack traces until the event finishes. It is the mechanism of
+// Android's ANR tool (5 s) and of Jovic et al. (shorter timeouts), and it is
+// also the reference detector for counting false negatives: with a 100 ms
+// timeout it traces *every* soft hang.
+type Timeout struct {
+	TimeoutDur simclock.Duration
+
+	log     Log
+	session *app.Session
+
+	// tracing state for the current action
+	tracing   bool
+	anyTraced bool
+}
+
+// NewTimeout builds a TI detector with the given timeout.
+func NewTimeout(d simclock.Duration) *Timeout {
+	return &Timeout{TimeoutDur: d}
+}
+
+// Name implements Detector.
+func (t *Timeout) Name() string {
+	return fmt.Sprintf("TI-%s", t.TimeoutDur)
+}
+
+// Log implements Detector.
+func (t *Timeout) Log() *Log { return &t.log }
+
+// Attach implements Detector.
+func (t *Timeout) Attach(s *app.Session) { t.session = s }
+
+// Detach implements Detector.
+func (t *Timeout) Detach() {}
+
+// ActionStart implements app.Listener.
+func (t *Timeout) ActionStart(e *app.ActionExec) { t.anyTraced = false }
+
+// EventStart arms the watchdog: if the event is still running when the
+// timeout fires, tracing begins.
+func (t *Timeout) EventStart(e *app.ActionExec, ev *app.EventExec) {
+	t.log.AddCost(CostWatchdogNs)
+	evRef := ev
+	t.session.Clk.After(t.TimeoutDur, func() {
+		if !evRef.Done {
+			t.tracing = true
+		}
+	})
+}
+
+// EventEnd charges the collected stack samples and records the incident.
+func (t *Timeout) EventEnd(e *app.ActionExec, ev *app.EventExec) {
+	if !t.tracing {
+		return
+	}
+	t.tracing = false
+	rt := ev.ResponseTime()
+	over := rt - t.TimeoutDur
+	samples := int64(over/StackSamplePeriod) + 1
+	t.log.AddCost(samples * CostStackSampleNs)
+	t.log.AddMem(samples * BytesPerStackSample)
+	if !t.anyTraced {
+		// One incident per action: the action's response time is the max
+		// over its events (§2.2).
+		t.anyTraced = true
+		t.log.Trace(TracedHang{At: ev.End, Exec: e, ResponseTime: rt})
+	}
+}
+
+// ActionEnd implements app.Listener.
+func (t *Timeout) ActionEnd(e *app.ActionExec) { t.tracing = false }

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/core"
+	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/detect"
+)
+
+// newHarnessOn runs one app's standard trace on a specific device model.
+func newHarnessOn(ctx *Context, a *app.App, dev app.Device, seedOffset uint64, d detect.Detector) (*detect.Harness, error) {
+	h, err := detect.NewHarness(a, dev, ctx.Seed+seedOffset, d)
+	if err != nil {
+		return nil, err
+	}
+	h.Run(corpus.Trace(a, ctx.Seed+seedOffset, ctx.Scale.TracePerApp), ctx.Scale.Think)
+	return h, nil
+}
+
+// DeviceGenerality tests the paper's §3.3.1 claim that the filter's events
+// and thresholds, designed on the LG V10, "are generally good also for
+// other platforms": the same Hang Doctor configuration runs on all three
+// devices the paper verified (LG V10, Nexus 5, Galaxy S3) and must find the
+// same validation bugs.
+type DeviceGenerality struct {
+	Table TextTable
+	// FoundPerDevice maps device name -> set of validation bug IDs found.
+	FoundPerDevice map[string]map[string]bool
+	// CommonBugs is the count found on every device.
+	CommonBugs int
+	// UnionBugs is the count found on at least one device.
+	UnionBugs int
+}
+
+// Name implements Result.
+func (d *DeviceGenerality) Name() string { return "devices" }
+
+// Render implements Result.
+func (d *DeviceGenerality) Render() string { return d.Table.Render() }
+
+// deviceRoster are the three phones of the paper's generality check.
+func deviceRoster() []app.Device {
+	return []app.Device{app.LGV10(), app.Nexus5(), app.GalaxyS3()}
+}
+
+// RunDeviceGenerality runs the unmodified default filter on each device
+// over the validation apps.
+func RunDeviceGenerality(ctx *Context) (*DeviceGenerality, error) {
+	out := &DeviceGenerality{
+		FoundPerDevice: map[string]map[string]bool{},
+		Table: TextTable{
+			Title:  "Filter generality across devices (unchanged thresholds, validation bugs found)",
+			Header: []string{"Device", "Cores", "PMU regs", "Bugs found", "of"},
+		},
+	}
+	// Validation apps = apps owning offline-missed bugs.
+	appSet := map[string]bool{}
+	totalBugs := 0
+	for _, b := range ctx.Corpus.Table5Bugs() {
+		if ctx.BaselineMissedOffline[b.ID] {
+			appSet[b.App.Name] = true
+			totalBugs++
+		}
+	}
+	union := map[string]bool{}
+	var intersection map[string]bool
+	for _, dev := range deviceRoster() {
+		found := map[string]bool{}
+		i := 0
+		for appName := range appSet {
+			i++
+			a := ctx.Corpus.MustApp(appName)
+			d := core.New(core.Config{})
+			// Same per-app trace and seed on every device: only the device
+			// model differs.
+			h, err := newHarnessOn(ctx, a, dev, uint64(5000+i*7), d)
+			if err != nil {
+				return nil, err
+			}
+			_ = h
+			matched := matchDetections(a, d.Detections())
+			for id := range matched {
+				if ctx.BaselineMissedOffline[id] {
+					found[id] = true
+				}
+			}
+		}
+		out.FoundPerDevice[dev.Name] = found
+		for id := range found {
+			union[id] = true
+		}
+		if intersection == nil {
+			intersection = map[string]bool{}
+			for id := range found {
+				intersection[id] = true
+			}
+		} else {
+			for id := range intersection {
+				if !found[id] {
+					delete(intersection, id)
+				}
+			}
+		}
+		out.Table.Add(dev.Name, itoa(dev.Cores), itoa(dev.Registers),
+			itoa(len(found)), itoa(totalBugs))
+	}
+	out.CommonBugs = len(intersection)
+	out.UnionBugs = len(union)
+	out.Table.Notes = append(out.Table.Notes,
+		fmt.Sprintf("found on every device: %d; on at least one: %d of %d", out.CommonBugs, out.UnionBugs, totalBugs),
+		"paper §3.3.1: the selected thresholds and events are generally good also for other platforms")
+	return out, nil
+}

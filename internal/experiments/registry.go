@@ -1,0 +1,49 @@
+package experiments
+
+import "fmt"
+
+// Runner produces one artifact.
+type Runner func(*Context) (Result, error)
+
+// Registry maps artifact names to their runners, in paper order.
+func Registry() []struct {
+	Name string
+	Run  Runner
+} {
+	return []struct {
+		Name string
+		Run  Runner
+	}{
+		{"table1", func(c *Context) (Result, error) { return RunTable1(c), nil }},
+		{"table2", func(c *Context) (Result, error) { return RunTable2(c) }},
+		{"table3", func(c *Context) (Result, error) { return RunTable3(c) }},
+		{"table4", func(c *Context) (Result, error) { return RunTable4(c) }},
+		{"table5", func(c *Context) (Result, error) { return RunTable5(c) }},
+		{"table6", func(c *Context) (Result, error) { return RunTable6(c) }},
+		{"fig1", func(c *Context) (Result, error) { return RunFig1(c) }},
+		{"fig2b", func(c *Context) (Result, error) { return RunFig2b(c) }},
+		{"fig4", func(c *Context) (Result, error) { return RunFig4(c) }},
+		{"fig5", func(c *Context) (Result, error) { return RunFig5(c) }},
+		{"fig6", func(c *Context) (Result, error) { return RunFig6(c) }},
+		{"fig7", func(c *Context) (Result, error) { return RunFig7(c) }},
+		{"fig8", func(c *Context) (Result, error) { return RunFig8(c) }},
+		{"ablation", func(c *Context) (Result, error) { return RunAblations(c) }},
+		{"testbed", func(c *Context) (Result, error) { return RunTestbed(c) }},
+		{"fixverify", func(c *Context) (Result, error) { return RunFixVerify(c) }},
+		{"longitudinal", func(c *Context) (Result, error) { return RunLongitudinal(c) }},
+		{"sweep", func(c *Context) (Result, error) { return RunThresholdSweep(c) }},
+		{"devices", func(c *Context) (Result, error) { return RunDeviceGenerality(c) }},
+		{"impact", func(c *Context) (Result, error) { return RunImpact(c) }},
+		{"seeds", func(c *Context) (Result, error) { return RunSeedRobustness(c) }},
+	}
+}
+
+// Run executes one named experiment.
+func Run(ctx *Context, name string) (Result, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e.Run(ctx)
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", name)
+}

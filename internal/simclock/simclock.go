@@ -1,0 +1,189 @@
+// Package simclock implements the virtual time base of the simulation: a
+// discrete-event clock with an ordered event queue and cancellable timers.
+//
+// Every component of the simulated device (CPU scheduler, looper, render
+// thread, perf sessions, detectors) shares one Clock. Time only advances when
+// events run, so an entire 60-day field study executes in milliseconds of
+// wall time and is bit-for-bit reproducible.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is an absolute simulated timestamp in nanoseconds since device boot.
+type Time int64
+
+// Duration is a span of simulated time in nanoseconds. It mirrors
+// time.Duration's unit so constants read naturally.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+	Minute               = 60 * Second
+	Hour                 = 60 * Minute
+	Day                  = 24 * Hour
+)
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Milliseconds reports d in milliseconds as a float for display.
+func (d Duration) Milliseconds() float64 { return float64(d) / float64(Millisecond) }
+
+// Seconds reports d in seconds as a float for display.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// String formats a duration with an adaptive unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second || d <= -Second:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	case d >= Millisecond || d <= -Millisecond:
+		return fmt.Sprintf("%.2fms", d.Milliseconds())
+	case d >= Microsecond || d <= -Microsecond:
+		return fmt.Sprintf("%.1fus", float64(d)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(d))
+	}
+}
+
+// Event is a scheduled callback. Events fire in (time, scheduling order).
+type Event struct {
+	at    Time
+	seq   uint64
+	index int // heap index, -1 once fired or cancelled
+	fn    func()
+}
+
+// Time returns the moment this event is scheduled to fire.
+func (e *Event) Time() Time { return e.at }
+
+// Clock is a discrete-event virtual clock. The zero value is ready to use
+// and starts at time 0.
+type Clock struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+}
+
+// New returns a clock starting at time 0.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current simulated time.
+func (c *Clock) Now() Time { return c.now }
+
+// At schedules fn to run at time t. Scheduling in the past (t < Now) panics:
+// in a discrete-event simulation that is always a logic bug and silently
+// clamping it would hide causality violations. Scheduling at exactly Now is
+// allowed and runs after currently queued events at Now.
+func (c *Clock) At(t Time, fn func()) *Event {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: scheduling event at %d before now %d", t, c.now))
+	}
+	if fn == nil {
+		panic("simclock: nil event function")
+	}
+	e := &Event{at: t, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.events, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d panics via At.
+func (c *Clock) After(d Duration, fn func()) *Event {
+	return c.At(c.now.Add(d), fn)
+}
+
+// Cancel removes e from the queue. Cancelling an already-fired or
+// already-cancelled event is a no-op, so callers can cancel unconditionally
+// in cleanup paths.
+func (c *Clock) Cancel(e *Event) {
+	if e == nil || e.index < 0 {
+		return
+	}
+	heap.Remove(&c.events, e.index)
+	e.index = -1
+	e.fn = nil
+}
+
+// Len reports the number of pending events.
+func (c *Clock) Len() int { return len(c.events) }
+
+// Step fires the earliest pending event, advancing Now to its timestamp.
+// It returns false if the queue is empty.
+func (c *Clock) Step() bool {
+	if len(c.events) == 0 {
+		return false
+	}
+	e := heap.Pop(&c.events).(*Event)
+	e.index = -1
+	c.now = e.at
+	fn := e.fn
+	e.fn = nil
+	fn()
+	return true
+}
+
+// RunUntil fires events until the queue is empty or the next event is after
+// t, then advances Now to exactly t. Events scheduled at t itself do run.
+func (c *Clock) RunUntil(t Time) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: RunUntil target %d before now %d", t, c.now))
+	}
+	for len(c.events) > 0 && c.events[0].at <= t {
+		c.Step()
+	}
+	c.now = t
+}
+
+// RunUntilIdle fires events until the queue is empty. maxEvents bounds the
+// number of events processed to catch runaway self-rescheduling loops; it
+// returns the number of events fired and whether the queue drained.
+func (c *Clock) RunUntilIdle(maxEvents int) (fired int, drained bool) {
+	for fired < maxEvents {
+		if !c.Step() {
+			return fired, true
+		}
+		fired++
+	}
+	return fired, c.Len() == 0
+}
+
+// eventHeap orders events by (time, seq) so simultaneous events fire in
+// scheduling order, which keeps the simulation deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}

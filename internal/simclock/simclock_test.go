@@ -1,0 +1,216 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hangdoctor/internal/simrand"
+)
+
+func TestOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.At(30, func() { order = append(order, 3) })
+	c.At(10, func() { order = append(order, 1) })
+	c.At(20, func() { order = append(order, 2) })
+	if _, drained := c.RunUntilIdle(100); !drained {
+		t.Fatal("queue not drained")
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+	if c.Now() != 30 {
+		t.Fatalf("Now = %d, want 30", c.Now())
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(100, func() { order = append(order, i) })
+	}
+	c.RunUntilIdle(100)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events not FIFO: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	fired := false
+	e := c.At(10, func() { fired = true })
+	c.Cancel(e)
+	c.RunUntilIdle(10)
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double cancel and nil cancel are no-ops.
+	c.Cancel(e)
+	c.Cancel(nil)
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	c := New()
+	var fired []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, c.At(Time(i*10), func() { fired = append(fired, i) }))
+	}
+	// Cancel every odd event.
+	for i := 1; i < 20; i += 2 {
+		c.Cancel(events[i])
+	}
+	c.RunUntilIdle(100)
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10: %v", len(fired), fired)
+	}
+	for idx, v := range fired {
+		if v != idx*2 {
+			t.Fatalf("wrong events fired: %v", fired)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	c := New()
+	c.At(5, func() {
+		c.After(10, func() {
+			if c.Now() != 15 {
+				t.Fatalf("After fired at %d, want 15", c.Now())
+			}
+		})
+	})
+	c.RunUntilIdle(10)
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := New()
+	c.At(100, func() {})
+	c.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	c.At(50, func() {})
+}
+
+func TestNilFuncPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for nil fn")
+		}
+	}()
+	New().At(1, nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		c.At(at, func() { fired = append(fired, at) })
+	}
+	c.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20", fired)
+	}
+	if c.Now() != 25 {
+		t.Fatalf("Now = %d, want 25", c.Now())
+	}
+	c.RunUntil(40) // inclusive boundary
+	if len(fired) != 4 {
+		t.Fatalf("fired %v, want all four", fired)
+	}
+}
+
+func TestRunUntilIdleBound(t *testing.T) {
+	c := New()
+	var reschedule func()
+	n := 0
+	reschedule = func() {
+		n++
+		c.After(1, reschedule)
+	}
+	c.At(0, reschedule)
+	fired, drained := c.RunUntilIdle(50)
+	if drained {
+		t.Fatal("self-rescheduling loop reported drained")
+	}
+	if fired != 50 {
+		t.Fatalf("fired = %d, want 50", fired)
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	c := New()
+	e := c.At(77, func() {})
+	if e.Time() != 77 {
+		t.Fatalf("Time() = %d, want 77", e.Time())
+	}
+}
+
+// TestHeapPropertyRandomized checks, with random schedules and cancellations,
+// that surviving events always fire in nondecreasing time order.
+func TestHeapPropertyRandomized(t *testing.T) {
+	rng := simrand.New(99)
+	f := func(seed uint16) bool {
+		r := rng.Derive(string(rune(seed)))
+		c := New()
+		var events []*Event
+		var firedTimes []Time
+		n := 5 + r.Intn(50)
+		for i := 0; i < n; i++ {
+			at := Time(r.Int63n(1000))
+			events = append(events, c.At(at, func() { firedTimes = append(firedTimes, c.Now()) }))
+		}
+		// Randomly cancel about a third.
+		for _, e := range events {
+			if r.Bool(0.33) {
+				c.Cancel(e)
+			}
+		}
+		c.RunUntilIdle(10000)
+		for i := 1; i < len(firedTimes); i++ {
+			if firedTimes[i] < firedTimes[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{1500 * Millisecond, "1.500s"},
+		{250 * Millisecond, "250.00ms"},
+		{42 * Microsecond, "42.0us"},
+		{17, "17ns"},
+	}
+	for _, tc := range cases {
+		if got := tc.d.String(); got != tc.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(tc.d), got, tc.want)
+		}
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	var base Time = 1000
+	if base.Add(500) != 1500 {
+		t.Fatal("Add failed")
+	}
+	if Time(1500).Sub(base) != 500 {
+		t.Fatal("Sub failed")
+	}
+}

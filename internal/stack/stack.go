@@ -1,0 +1,144 @@
+// Package stack models Java-style call stacks of a simulated Android app:
+// ordered frames carrying class, method, file, and line. Hang Doctor's
+// Diagnoser works entirely from sampled stacks (§3.4.1 of the paper), so the
+// model keeps exactly the information a real stack dump provides — enough to
+// compute occurrence factors, recognize UI classes by name, and point the
+// developer at file:line.
+package stack
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Frame is one stack frame. Frames print like Android stack-trace lines:
+// "com.example.Cls.method(File.java:42)".
+type Frame struct {
+	Class  string // fully qualified class, e.g. "org.htmlcleaner.HtmlCleaner"
+	Method string // method name, e.g. "clean"
+	File   string // source file, e.g. "HtmlCleaner.java"
+	Line   int
+}
+
+// String renders the frame in Android stack-trace format.
+func (f Frame) String() string {
+	return fmt.Sprintf("%s.%s(%s:%d)", f.Class, f.Method, f.File, f.Line)
+}
+
+// Key returns a stable identity for occurrence counting: class.method.
+// Line numbers are excluded so that multiple samples inside one long method
+// aggregate to the same operation.
+func (f Frame) Key() string { return f.Class + "." + f.Method }
+
+// Package returns the package portion of the class name ("org.htmlcleaner"
+// for "org.htmlcleaner.HtmlCleaner"), or "" if the class has no package.
+func (f Frame) Package() string {
+	if i := strings.LastIndexByte(f.Class, '.'); i >= 0 {
+		return f.Class[:i]
+	}
+	return ""
+}
+
+// Stack is an immutable call stack. Frames[0] is the leaf (innermost) frame;
+// the last frame is the outermost caller (the looper dispatch frame in a
+// main-thread stack). Stacks are shared between segments and samples, so
+// they must never be mutated after construction.
+type Stack struct {
+	Frames []Frame
+}
+
+// New builds a stack from leaf-first frames.
+func New(frames ...Frame) *Stack {
+	return &Stack{Frames: frames}
+}
+
+// Leaf returns the innermost frame, or a zero Frame for an empty stack.
+func (s *Stack) Leaf() Frame {
+	if s == nil || len(s.Frames) == 0 {
+		return Frame{}
+	}
+	return s.Frames[0]
+}
+
+// Depth returns the number of frames; it is 0 for a nil stack.
+func (s *Stack) Depth() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Frames)
+}
+
+// Contains reports whether any frame has the given key (class.method).
+func (s *Stack) Contains(key string) bool {
+	if s == nil {
+		return false
+	}
+	for _, f := range s.Frames {
+		if f.Key() == key {
+			return true
+		}
+	}
+	return false
+}
+
+// CallerOf returns the frame immediately above the first frame matching key,
+// and whether such a caller exists.
+func (s *Stack) CallerOf(key string) (Frame, bool) {
+	if s == nil {
+		return Frame{}, false
+	}
+	for i, f := range s.Frames {
+		if f.Key() == key && i+1 < len(s.Frames) {
+			return s.Frames[i+1], true
+		}
+	}
+	return Frame{}, false
+}
+
+// Push returns a new stack with frame added as the new leaf. The receiver is
+// not modified.
+func (s *Stack) Push(frame Frame) *Stack {
+	var base []Frame
+	if s != nil {
+		base = s.Frames
+	}
+	frames := make([]Frame, 0, len(base)+1)
+	frames = append(frames, frame)
+	frames = append(frames, base...)
+	return &Stack{Frames: frames}
+}
+
+// Concat returns a new stack with inner's frames below... is the leaf side;
+// specifically the result is inner.Frames followed by s.Frames, i.e. inner
+// becomes the innermost portion. Used to nest a blocking API inside library
+// wrapper frames and then inside the app handler frames.
+func (s *Stack) Concat(inner *Stack) *Stack {
+	var a, b []Frame
+	if inner != nil {
+		a = inner.Frames
+	}
+	if s != nil {
+		b = s.Frames
+	}
+	frames := make([]Frame, 0, len(a)+len(b))
+	frames = append(frames, a...)
+	frames = append(frames, b...)
+	return &Stack{Frames: frames}
+}
+
+// String renders the stack one frame per line, leaf first, matching the
+// layout of an Android ANR trace.
+func (s *Stack) String() string {
+	if s == nil || len(s.Frames) == 0 {
+		return "<empty stack>"
+	}
+	var b strings.Builder
+	for i, f := range s.Frames {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString("  at ")
+		b.WriteString(f.String())
+	}
+	return b.String()
+}
