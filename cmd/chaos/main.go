@@ -1,0 +1,157 @@
+// Command chaos is the fault-injection sweep harness: it runs Hang Doctor
+// over corpus apps while the simulated measurement plane fails at a
+// configurable rate, and prints how precision, recall, and overhead degrade
+// as the faults ramp up. The property it demonstrates is graceful
+// degradation: missing data defers verdicts (bounded recall loss) instead
+// of fabricating them (no new false positives relative to the fault-free
+// baseline).
+//
+// Usage:
+//
+//	chaos                                    # default sweep, stack-miss fault
+//	chaos -fault all -rates 0,0.25,0.5,1     # every fault kind at once
+//	chaos -apps K9-Mail -n 200 -seed 7       # one app, longer trace
+//
+// Fault kinds: open (perf-session open failure), counter (per-event dropout
+// mid-window), render (render-thread counters unavailable), stack
+// (stack-sample miss), trunc (stack truncation), overrun (late sampler
+// ticks), all (every kind at the same rate).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/core"
+	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/detect"
+	"hangdoctor/internal/fault"
+	"hangdoctor/internal/simclock"
+)
+
+func ratesFor(kind string, rate float64) (fault.Rates, error) {
+	switch kind {
+	case "open":
+		return fault.Rates{PerfOpenFail: rate}, nil
+	case "counter":
+		return fault.Rates{CounterDrop: rate}, nil
+	case "render":
+		return fault.Rates{RenderLoss: rate}, nil
+	case "stack":
+		return fault.Rates{StackMiss: rate}, nil
+	case "trunc":
+		return fault.Rates{StackTruncate: rate}, nil
+	case "overrun":
+		return fault.Rates{SamplerOverrun: rate}, nil
+	case "all":
+		return fault.Rates{
+			PerfOpenFail: rate, CounterDrop: rate, RenderLoss: rate,
+			StackMiss: rate, StackTruncate: rate, SamplerOverrun: rate,
+		}, nil
+	}
+	return fault.Rates{}, fmt.Errorf("unknown fault kind %q (want open|counter|render|stack|trunc|overrun|all)", kind)
+}
+
+// sweepRow aggregates one fault rate across all apps.
+type sweepRow struct {
+	rate     float64
+	tp, fp   int
+	fn       int
+	overhead float64 // mean across apps, percent
+	health   core.Health
+}
+
+func (r sweepRow) precision() float64 {
+	if r.tp+r.fp == 0 {
+		return 1
+	}
+	return float64(r.tp) / float64(r.tp+r.fp)
+}
+
+func (r sweepRow) recall() float64 {
+	if r.tp+r.fn == 0 {
+		return 0
+	}
+	return float64(r.tp) / float64(r.tp+r.fn)
+}
+
+func main() {
+	appsFlag := flag.String("apps", "K9-Mail,QKSMS,Omni-Notes", "comma-separated corpus apps to sweep")
+	n := flag.Int("n", 150, "actions per trace")
+	seed := flag.Uint64("seed", 11, "base seed (trace, session, and faults derive from it)")
+	kind := flag.String("fault", "stack", "fault kind: open|counter|render|stack|trunc|overrun|all")
+	ratesFlag := flag.String("rates", "0,0.1,0.25,0.5,0.75,1", "comma-separated fault rates to sweep")
+	flag.Parse()
+
+	var rates []float64
+	for _, s := range strings.Split(*ratesFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || v < 0 || v > 1 {
+			fmt.Fprintf(os.Stderr, "bad rate %q: want a number in [0,1]\n", s)
+			os.Exit(2)
+		}
+		rates = append(rates, v)
+	}
+	apps := strings.Split(*appsFlag, ",")
+
+	rows := make([]sweepRow, 0, len(rates))
+	for _, rate := range rates {
+		fr, err := ratesFor(*kind, rate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		row := sweepRow{rate: rate}
+		for ai, name := range apps {
+			name = strings.TrimSpace(name)
+			// A fresh corpus per run isolates the known-blocking feedback
+			// loop between configurations.
+			c := corpus.Build()
+			a := c.MustApp(name)
+			d := core.New(core.Config{})
+			h, err := detect.NewHarness(a, app.LGV10(), *seed, d)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			// Each (app, rate) cell gets its own fault stream so cells are
+			// independently reproducible.
+			h.Session.SetFaults(fault.New(*seed+uint64(ai)*1000003, fr))
+			h.Run(corpus.Trace(a, *seed, *n), simclock.Second)
+			ev := h.Evaluate(d)
+			row.tp += ev.TP
+			row.fp += ev.FP
+			row.fn += ev.FN
+			row.overhead += h.Overhead(d).Avg() / float64(len(apps))
+			hl := d.Health()
+			row.health.Add(hl)
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Printf("chaos sweep: fault=%s apps=%s n=%d seed=%d\n\n", *kind, *appsFlag, *n, *seed)
+	fmt.Printf("%6s %5s %5s %5s %10s %7s %9s %9s %8s %8s %11s\n",
+		"rate", "TP", "FP", "FN", "precision", "recall", "overhead%", "deferred", "lowconf", "quarant", "newFP-vs-0")
+	base := rows[0]
+	for _, r := range rows {
+		fmt.Printf("%6.2f %5d %5d %5d %10.2f %7.2f %9.2f %9d %8d %8d %11d\n",
+			r.rate, r.tp, r.fp, r.fn, r.precision(), r.recall(), r.overhead,
+			r.health.VerdictsDeferred, r.health.LowConfidence, r.health.Quarantines,
+			r.fp-base.fp)
+	}
+	fmt.Printf("\nhealth at max rate: %s\n", rows[len(rows)-1].health)
+
+	// Graceful-degradation contract: faults must never create detections the
+	// perfect plane would not have made.
+	for _, r := range rows[1:] {
+		if r.fp > base.fp {
+			fmt.Fprintf(os.Stderr, "\nFAIL: fault rate %.2f produced %d new false positives\n", r.rate, r.fp-base.fp)
+			os.Exit(1)
+		}
+	}
+	fmt.Println("OK: no fault rate produced new false positives")
+}

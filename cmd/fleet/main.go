@@ -47,6 +47,7 @@ func main() {
 		os.Exit(1)
 	}
 	fleet := core.NewReport()
+	imported := 0
 	for _, path := range entries {
 		f, err := os.Open(path)
 		if err != nil {
@@ -60,8 +61,13 @@ func main() {
 			continue
 		}
 		fleet.Merge(rep)
+		imported++
 	}
-	fmt.Printf("merged %d device reports (%d diagnosed hangs)\n\n", len(entries), fleet.TotalHangs())
+	if imported == 0 {
+		fmt.Fprintf(os.Stderr, "all %d report files failed to parse\n", len(entries))
+		os.Exit(1)
+	}
+	fmt.Printf("merged %d of %d device reports (%d diagnosed hangs)\n\n", imported, len(entries), fleet.TotalHangs())
 	fmt.Print(fleet.Render())
 }
 

@@ -41,6 +41,7 @@ import (
 	"hangdoctor/internal/core"
 	"hangdoctor/internal/corpus"
 	"hangdoctor/internal/detect"
+	"hangdoctor/internal/fault"
 	"hangdoctor/internal/simclock"
 )
 
@@ -75,7 +76,25 @@ type (
 	Telemetry = core.Telemetry
 	// ActionStats is one action's responsiveness summary.
 	ActionStats = core.ActionStats
+	// Health is the Doctor's degraded-operation summary: what the
+	// measurement plane lost and how the Doctor compensated.
+	Health = core.Health
+	// FaultRates configures the substrate fault-injection layer, one
+	// independent probability per modeled measurement-plane failure.
+	FaultRates = fault.Rates
+	// FaultInjector makes seeded deterministic fault decisions; install one
+	// on a Session with SetFaults to exercise degraded operation.
+	FaultInjector = fault.Injector
+	// FaultStats counts the faults an injector actually delivered.
+	FaultStats = fault.Stats
 )
+
+// NewFaultInjector builds a fault injector whose decisions are a pure
+// function of seed and rates. Install it with (*Session).SetFaults before
+// running a trace; a nil injector (the default) is a perfect plane.
+func NewFaultInjector(seed uint64, rates FaultRates) *FaultInjector {
+	return fault.New(seed, rates)
+}
 
 // LightAdapt nudges the current thresholds on collected labeled readings
 // (the on-device adaptation pass); it reports false when heavy adaptation

@@ -6,6 +6,7 @@ import (
 	"hangdoctor/internal/android/looper"
 	"hangdoctor/internal/android/render"
 	"hangdoctor/internal/cpu"
+	"hangdoctor/internal/fault"
 	"hangdoctor/internal/perf"
 	"hangdoctor/internal/simclock"
 	"hangdoctor/internal/simrand"
@@ -101,6 +102,7 @@ type Session struct {
 	rng      *simrand.Rand
 	noise    *perf.NoiseModel
 	perfRng  *simrand.Rand
+	faults   *fault.Injector
 	listener []Listener
 
 	execCount map[string]int
@@ -156,13 +158,41 @@ func (s *Session) MainThread() *cpu.Thread { return s.Looper.Thread() }
 func (s *Session) RenderThread() *cpu.Thread { return s.Render.CPUThread() }
 
 // PerfConfig returns the perf session configuration matching this device
-// (register count, measurement-noise model, deterministic RNG).
+// (register count, measurement-noise model, deterministic RNG). It does not
+// carry the fault injector: consumers that can survive measurement faults
+// opt in explicitly (see core.Doctor), so auxiliary perf users keep their
+// must-succeed semantics.
 func (s *Session) PerfConfig() perf.Config {
 	regs := s.Device.Registers
 	if regs == 0 {
 		regs = perf.DefaultRegisters
 	}
 	return perf.Config{Registers: regs, Noise: s.noise, Rng: s.perfRng}
+}
+
+// SetFaults installs a fault injector on the session's measurement plane.
+// Nil (the default) means a perfect measurement plane.
+func (s *Session) SetFaults(in *fault.Injector) { s.faults = in }
+
+// Faults returns the installed fault injector (nil-safe to use directly).
+func (s *Session) Faults() *fault.Injector { return s.faults }
+
+// SampleMainStack is the fault-aware main-thread stack dump: what a trace
+// collector actually gets on a loaded device. missed is true when the dump
+// was lost to fault injection (as opposed to the thread being idle, which
+// returns nil/false/false); truncated is true when outer frames were cut.
+func (s *Session) SampleMainStack() (st *stack.Stack, missed, truncated bool) {
+	st = s.MainThread().CurrentStack()
+	if st == nil {
+		return nil, false, false
+	}
+	if s.faults.StackMissed() {
+		return nil, true, false
+	}
+	if kept, ok := s.faults.TruncateTo(st.Depth()); ok {
+		return st.Truncate(kept), false, true
+	}
+	return st, false, false
 }
 
 // AddListener attaches a lifecycle observer (typically a detector).

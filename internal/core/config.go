@@ -45,16 +45,48 @@ type Config struct {
 	// OccurrenceHigh is the occurrence-factor threshold above which a
 	// single API is reported as the root cause (default 0.5).
 	OccurrenceHigh float64
-	// MinTraces is the minimum number of stack samples required before the
-	// Trace Analyzer renders a verdict (default 3): an occurrence factor
-	// computed from one or two samples of a borderline ~100 ms hang says
-	// nothing, and the action stays Suspicious until a longer hang is
-	// captured.
+	// MinTraces is the minimum number of stack samples that must *survive*
+	// collection before the Trace Analyzer renders a verdict (default 3):
+	// an occurrence factor computed from one or two samples of a borderline
+	// ~100 ms hang says nothing, and the action stays Suspicious until a
+	// longer hang is captured. When fault injection eats samples, falling
+	// below this minimum defers the Suspicious → HangBug/Normal transition
+	// instead of judging from too little data.
 	MinTraces int
 	// ResetEvery returns a Normal action to Uncategorized after this many
 	// executions, so occasionally-manifesting bugs get re-checked (default
 	// 20, as in the paper's EventBreak reference; 0 disables).
 	ResetEvery int
+
+	// Degraded-operation knobs: how the Doctor compensates when the
+	// measurement plane fails (see internal/fault). All of them are inert
+	// on a perfect plane, so the defaults change nothing fault-free.
+
+	// PerfOpenRetries is how many times a failed perf-session open is
+	// retried within the same action execution (default 2, so up to three
+	// attempts; negative disables retries).
+	PerfOpenRetries int
+	// PerfRetryBackoff is the delay before the first open retry, doubling
+	// per attempt (default 5 ms).
+	PerfRetryBackoff simclock.Duration
+	// QuarantineAfter quarantines an action after this many consecutive
+	// executions in which no perf session could be opened at all (default
+	// 3; negative disables quarantine).
+	QuarantineAfter int
+	// QuarantineExecs is how many executions a quarantined action skips
+	// S-Checker monitoring for, avoiding open costs that keep failing
+	// (default 25). Judgement is deferred meanwhile.
+	QuarantineExecs int
+	// DegradedMarginScale multiplies non-zero condition thresholds when the
+	// render-thread difference is unavailable and the S-Checker falls back
+	// to main-thread-only values (default 2): main-only counters include
+	// the common-mode baseline the difference would cancel, so the margins
+	// must widen to keep UI work from looking like a bug.
+	DegradedMarginScale float64
+	// DegradedZeroThreshold replaces zero thresholds (the context-switch
+	// condition) in degraded main-thread-only mode, where a strictly
+	// positive count no longer implies a blocked main thread (default 8).
+	DegradedZeroThreshold int64
 
 	// Ablation switches (all default off; used by the ablation benches).
 
@@ -103,7 +135,36 @@ func (c Config) withDefaults() Config {
 	if c.ResetEvery == 0 {
 		c.ResetEvery = 20
 	}
+	if c.PerfOpenRetries == 0 {
+		c.PerfOpenRetries = 2
+	} else if c.PerfOpenRetries < 0 {
+		c.PerfOpenRetries = 0
+	}
+	if c.PerfRetryBackoff == 0 {
+		c.PerfRetryBackoff = 5 * simclock.Millisecond
+	}
+	if c.QuarantineAfter == 0 {
+		c.QuarantineAfter = 3
+	}
+	if c.QuarantineExecs == 0 {
+		c.QuarantineExecs = 25
+	}
+	if c.DegradedMarginScale == 0 {
+		c.DegradedMarginScale = 2
+	}
+	if c.DegradedZeroThreshold == 0 {
+		c.DegradedZeroThreshold = 8
+	}
 	return c
+}
+
+// degradedThreshold widens a condition's threshold for main-thread-only
+// evaluation when the render difference is unavailable.
+func (c Config) degradedThreshold(cond Condition) int64 {
+	if cond.Threshold > 0 {
+		return int64(float64(cond.Threshold) * c.DegradedMarginScale)
+	}
+	return c.DegradedZeroThreshold
 }
 
 // conditionEvents lists the events the S-Checker must monitor.

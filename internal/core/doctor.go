@@ -49,13 +49,17 @@ type Doctor struct {
 	earlyRead   *perf.Reading
 	earlyTimer  *simclock.Event
 	curRec      *actionRecord
+	curExec     *app.ActionExec
 	curTraces   []*stack.Stack
+	curDropped  int
+	openFailed  bool
 	sampler     *simclock.Event
 	sampling    bool
 	adaptSet    []LabeledReading
 	deviceLabel string
 	wide        wideCollector
 	telemetry   *Telemetry
+	health      Health
 }
 
 // New builds a Doctor with the given configuration.
@@ -76,8 +80,17 @@ func (d *Doctor) Name() string { return "HD" }
 // Log implements detect.Detector.
 func (d *Doctor) Log() *detect.Log { return &d.log }
 
-// Report returns the Hang Bug Report accumulated so far.
-func (d *Doctor) Report() *Report { return d.report }
+// Report returns the Hang Bug Report accumulated so far, stamped with the
+// current degraded-operation health so uploads carry it.
+func (d *Doctor) Report() *Report {
+	d.report.Health = d.health
+	return d.report
+}
+
+// Health returns the degraded-operation summary: what the measurement plane
+// lost so far and how the Doctor compensated. It is all zeros on a perfect
+// plane.
+func (d *Doctor) Health() Health { return d.health }
 
 // Attach implements detect.Detector.
 func (d *Doctor) Attach(s *app.Session) {
@@ -135,8 +148,13 @@ func (d *Doctor) record(uid string) *actionRecord {
 }
 
 func (d *Doctor) logTransition(r *actionRecord, to ActionState, phase string, seq int) {
+	d.logTransitionConf(r, to, phase, seq, false)
+}
+
+func (d *Doctor) logTransitionConf(r *actionRecord, to ActionState, phase string, seq int, lowConf bool) {
 	d.transitions = append(d.transitions, StateTransition{
 		ActionUID: r.uid, From: r.state, To: to, Phase: phase, ExecSeq: seq,
+		LowConfidence: lowConf,
 	})
 	r.transition(to)
 }
@@ -146,8 +164,11 @@ func (d *Doctor) logTransition(r *actionRecord, to ActionState, phase string, se
 func (d *Doctor) ActionStart(e *app.ActionExec) {
 	r := d.record(e.Action.UID)
 	d.curRec = r
+	d.curExec = e
 	r.execs++
 	d.curTraces = nil
+	d.curDropped = 0
+	d.openFailed = false
 	d.earlyRead = nil
 	d.wide.onActionStart()
 
@@ -159,10 +180,16 @@ func (d *Doctor) ActionStart(e *app.ActionExec) {
 		}
 	}
 	if r.state == Uncategorized && !d.cfg.Phase2Only {
-		// S-Checker monitors the three performance events on main and
-		// render threads for the whole action window.
-		threads := d.monitoredThreads()
-		d.perfSess = perf.Open(d.session.Clk, threads, d.cfg.conditionEvents(), d.session.PerfConfig())
+		if r.quarantineLeft > 0 {
+			// The action's measurement plane kept failing; skip monitoring
+			// for a while instead of paying open costs for nothing. The
+			// S-Checker defers judgement meanwhile.
+			r.quarantineLeft--
+		} else {
+			// S-Checker monitors the three performance events on main and
+			// render threads for the whole action window.
+			d.openPerf(r, e, 0)
+		}
 		if d.cfg.EarlyRead > 0 {
 			d.earlyTimer = d.session.Clk.After(d.cfg.EarlyRead, func() {
 				d.earlyTimer = nil
@@ -175,6 +202,32 @@ func (d *Doctor) ActionStart(e *app.ActionExec) {
 			})
 		}
 	}
+}
+
+// openPerf opens the S-Checker's perf session, retrying failed opens with
+// bounded exponential backoff while the same execution is still running.
+func (d *Doctor) openPerf(r *actionRecord, e *app.ActionExec, attempt int) {
+	cfg := d.session.PerfConfig()
+	cfg.Faults = d.session.Faults()
+	sess, err := perf.TryOpen(d.session.Clk, d.monitoredThreads(), d.cfg.conditionEvents(), cfg)
+	if err != nil {
+		// A failed perf_event_open still costs the syscall round trip.
+		d.log.AddCost(perf.CostOpenNs)
+		d.health.PerfOpenFailures++
+		if attempt < d.cfg.PerfOpenRetries {
+			d.health.PerfOpenRetries++
+			backoff := d.cfg.PerfRetryBackoff << attempt
+			d.session.Clk.After(backoff, func() {
+				if d.curExec == e && d.perfSess == nil && d.earlyRead == nil {
+					d.openPerf(r, e, attempt+1)
+				}
+			})
+		} else {
+			d.openFailed = true
+		}
+		return
+	}
+	d.perfSess = sess
 }
 
 func (d *Doctor) monitoredThreads() []*cpu.Thread {
@@ -219,12 +272,25 @@ func (d *Doctor) startSampler() {
 		if !d.sampling {
 			return
 		}
-		if st := d.session.MainThread().CurrentStack(); st != nil {
+		st, missed, truncated := d.session.SampleMainStack()
+		if missed {
+			d.curDropped++
+			d.health.StacksDropped++
+		}
+		if truncated {
+			d.health.StacksTruncated++
+		}
+		if st != nil {
 			d.curTraces = append(d.curTraces, st)
 			d.log.AddCost(detect.CostStackSampleNs)
 			d.log.AddMem(detect.BytesPerStackSample)
 		}
-		d.sampler = d.session.Clk.After(d.cfg.SamplePeriod, tick)
+		period := d.cfg.SamplePeriod
+		if extra, ok := d.session.Faults().OverrunExtra(period); ok {
+			period += extra
+			d.health.SamplerOverruns++
+		}
+		d.sampler = d.session.Clk.After(period, tick)
 	}
 	tick()
 }
@@ -255,6 +321,7 @@ func (d *Doctor) EventEnd(e *app.ActionExec, ev *app.EventExec) {
 func (d *Doctor) ActionEnd(e *app.ActionExec) {
 	r := d.curRec
 	d.curRec = nil
+	d.curExec = nil
 	if r == nil {
 		return
 	}
@@ -280,6 +347,10 @@ func (d *Doctor) ActionEnd(e *app.ActionExec) {
 
 // sCheck is the first phase: read the counters, compare against the
 // symptom thresholds, and route the action (Figure 3 paths A/B/C start).
+// When the measurement plane degrades — no session could be opened, the
+// render thread was lost, or counters dropped out mid-window — it judges
+// only from what survived, widening margins and marking the verdict
+// low-confidence, and defers entirely rather than guess from nothing.
 func (d *Doctor) sCheck(r *actionRecord, e *app.ActionExec, rt simclock.Duration, hang bool) {
 	var reading perf.Reading
 	switch {
@@ -291,39 +362,87 @@ func (d *Doctor) sCheck(r *actionRecord, e *app.ActionExec, rt simclock.Duration
 		d.log.AddCost(d.perfSess.CostNs())
 		d.perfSess = nil
 	default:
+		// No reading at all: every open attempt failed, or the action is
+		// quarantined. Never judge without data.
+		if d.openFailed {
+			r.consecOpenFails++
+			if d.cfg.QuarantineAfter > 0 && r.consecOpenFails >= d.cfg.QuarantineAfter {
+				r.consecOpenFails = 0
+				r.quarantineLeft = d.cfg.QuarantineExecs
+				d.health.Quarantines++
+			}
+		}
+		if hang {
+			d.health.VerdictsDeferred++
+		}
 		return
 	}
+	r.consecOpenFails = 0
 	if !hang {
 		// No soft hang: stay Uncategorized, keep watching.
 		return
 	}
+	mainOnly := d.cfg.MainThreadOnly
+	degraded := false
+	if !mainOnly && len(reading.PerThread) < 2 {
+		// Render-thread counters were unavailable: fall back to main-only
+		// thresholds with wider margins; the verdict is low-confidence.
+		mainOnly, degraded = true, true
+		d.health.RenderLost++
+	}
 	var fired []int
+	evaluated := 0
+	lowConf := degraded
 	values := make([]int64, len(d.cfg.Conditions))
 	for i, cond := range d.cfg.Conditions {
-		v := reading.Value(0, cond.Event)
-		if !d.cfg.MainThreadOnly {
-			v = reading.Diff(cond.Event)
+		var v int64
+		var ok bool
+		if mainOnly {
+			v, ok = reading.ValueOK(0, cond.Event)
+		} else {
+			v, ok = reading.DiffOK(cond.Event)
 		}
+		if !ok {
+			// This condition's counter was multiplexed away; skip it.
+			d.health.CountersLost++
+			lowConf = true
+			continue
+		}
+		evaluated++
 		values[i] = v
-		if v > cond.Threshold {
+		thr := cond.Threshold
+		if degraded {
+			thr = d.cfg.degradedThreshold(cond)
+		}
+		if v > thr {
 			fired = append(fired, i)
 		}
 	}
-	if d.cfg.CollectAdaptation {
+	if evaluated == 0 {
+		// Every counter of the window was lost; defer the verdict.
+		d.health.VerdictsDeferred++
+		return
+	}
+	if d.cfg.CollectAdaptation && !lowConf {
+		// Degraded readings are excluded: their values are not comparable
+		// with difference-mode thresholds and would skew adaptation.
 		d.adaptSet = append(d.adaptSet, LabeledReading{
 			ActionUID: r.uid, Values: values,
 			IsBug: e.BugCaused(d.cfg.PerceivableDelay) != nil,
 		})
 	}
+	if lowConf {
+		d.health.LowConfidence++
+	}
 	if len(fired) > 0 {
 		r.lastSymptoms = fired
-		d.logTransition(r, Suspicious, "S-Checker", e.Seq)
+		d.logTransitionConf(r, Suspicious, "S-Checker", e.Seq, lowConf)
 		if d.cfg.Phase1Only {
 			// Ablation: no confirmation pass; report straight away.
 			d.log.Trace(detect.TracedHang{At: e.End, Exec: e, ResponseTime: rt, RootCauseIsBug: true})
 		}
 	} else {
-		d.logTransition(r, Normal, "S-Checker", e.Seq)
+		d.logTransitionConf(r, Normal, "S-Checker", e.Seq, lowConf)
 	}
 }
 
@@ -331,16 +450,30 @@ func (d *Doctor) sCheck(r *actionRecord, e *app.ActionExec, rt simclock.Duration
 // execution's soft hang and settle the action's state (Figure 3 paths B/C).
 func (d *Doctor) diagnose(r *actionRecord, e *app.ActionExec, rt simclock.Duration, hang bool) {
 	traces := d.curTraces
+	dropped := d.curDropped
 	d.curTraces = nil
+	d.curDropped = 0
 	if !hang || len(traces) < d.cfg.MinTraces {
 		// The bug did not manifest this time (or the hang was too short to
 		// sample meaningfully); keep the action's state so the next soft
 		// hang is traced (§3.2 path discussion).
+		if hang && dropped > 0 {
+			// Samples were lost to the measurement plane, not absent from
+			// the hang: the Suspicious → HangBug/Normal decision is
+			// deferred rather than rendered from too little data.
+			d.health.VerdictsDeferred++
+		}
 		return
 	}
 	diag, ok := AnalyzeTraces(traces, d.session.App.Registry, d.cfg.OccurrenceHigh)
 	if !ok {
 		return
+	}
+	// Enough samples survived to judge, but a partial set (or truncated
+	// frames) still lowers confidence in the occurrence factors.
+	lowConf := dropped > 0
+	if lowConf {
+		d.health.LowConfidence++
 	}
 	d.log.Trace(detect.TracedHang{
 		At: e.End, Exec: e, ResponseTime: rt,
@@ -348,22 +481,22 @@ func (d *Doctor) diagnose(r *actionRecord, e *app.ActionExec, rt simclock.Durati
 	})
 	if diag.IsUI {
 		if r.state == Suspicious || r.state == Uncategorized {
-			d.logTransition(r, Normal, "Diagnoser", e.Seq)
+			d.logTransitionConf(r, Normal, "Diagnoser", e.Seq, lowConf)
 		}
 		return
 	}
 	if r.state == Normal {
 		// Phase2Only ablation: a Normal action is still being diagnosed;
 		// re-open it before confirming.
-		d.logTransition(r, Uncategorized, "Diagnoser", e.Seq)
+		d.logTransitionConf(r, Uncategorized, "Diagnoser", e.Seq, lowConf)
 	}
 	if r.state == Uncategorized {
 		// Phase2Only ablation: no S-Checker ran, so step through Suspicious
 		// to keep the audit trail on Figure 3's edges.
-		d.logTransition(r, Suspicious, "Diagnoser", e.Seq)
+		d.logTransitionConf(r, Suspicious, "Diagnoser", e.Seq, lowConf)
 	}
 	if r.state != HangBug {
-		d.logTransition(r, HangBug, "Diagnoser", e.Seq)
+		d.logTransitionConf(r, HangBug, "Diagnoser", e.Seq, lowConf)
 	}
 	d.recordDetection(r, e, rt, diag)
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"hangdoctor/internal/simclock"
 	"hangdoctor/internal/simrand"
@@ -42,6 +43,61 @@ func FuzzImportReport(f *testing.F) {
 		if back.Len() != rep.Len() || back.TotalHangs() != rep.TotalHangs() {
 			t.Fatalf("round trip changed the report: %d/%d vs %d/%d",
 				rep.Len(), rep.TotalHangs(), back.Len(), back.TotalHangs())
+		}
+	})
+}
+
+// FuzzReportRoundTrip builds a report from fuzzed field values, exports it,
+// and checks the import is equal field-for-field — the structured complement
+// to FuzzImportReport's arbitrary-bytes no-panic coverage.
+func FuzzReportRoundTrip(f *testing.F) {
+	f.Add("K9-Mail", "K9-Mail/Inbox", "o.h.HtmlCleaner.clean", "HtmlCleaner.java", 42, 3, int64(150), int64(400))
+	f.Add("App", "App/act", "x.Y.m", "", 0, 1, int64(0), int64(0))
+	f.Fuzz(func(t *testing.T, appName, action, root, file string, line, hangs int, rt1, rt2 int64) {
+		// Add can only produce well-formed entries; constrain the fuzzed
+		// values to its domain rather than reimplementing validation here.
+		if root == "" || line < 0 || hangs <= 0 || hangs > 1000 || rt1 < 0 || rt2 < 0 {
+			t.Skip()
+		}
+		// encoding/json coerces invalid UTF-8 to U+FFFD, so only valid
+		// strings can round-trip byte-identically.
+		if !utf8.ValidString(appName) || !utf8.ValidString(action) ||
+			!utf8.ValidString(root) || !utf8.ValidString(file) {
+			t.Skip()
+		}
+		r := NewReport()
+		diag := Diagnosis{RootCause: root, File: file, Line: line}
+		for i := 0; i < hangs; i++ {
+			rt := rt1
+			if i%2 == 1 {
+				rt = rt2
+			}
+			r.Add(appName, "dev-a", action, diag, simclock.Duration(rt)*simclock.Millisecond)
+		}
+		r.Health = Health{StacksDropped: hangs, VerdictsDeferred: line % 7}
+
+		var buf bytes.Buffer
+		if err := r.Export(&buf); err != nil {
+			t.Fatalf("export: %v", err)
+		}
+		back, err := ImportReport(&buf)
+		if err != nil {
+			t.Fatalf("import of own export: %v", err)
+		}
+		if back.Len() != r.Len() || back.TotalHangs() != r.TotalHangs() {
+			t.Fatalf("round trip changed totals: %d/%d vs %d/%d",
+				r.Len(), r.TotalHangs(), back.Len(), back.TotalHangs())
+		}
+		if back.Health != r.Health {
+			t.Fatalf("round trip changed health: %+v vs %+v", r.Health, back.Health)
+		}
+		want, got := r.Entries()[0], back.Entries()[0]
+		if got.App != want.App || got.ActionUID != want.ActionUID ||
+			got.RootCause != want.RootCause || got.File != want.File ||
+			got.Line != want.Line || got.Hangs != want.Hangs ||
+			got.MaxResponse != want.MaxResponse || got.SumResponse != want.SumResponse ||
+			len(got.Devices) != len(want.Devices) {
+			t.Fatalf("round trip changed the entry:\n  want %+v\n  got  %+v", want, got)
 		}
 	})
 }

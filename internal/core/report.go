@@ -43,6 +43,10 @@ type Report struct {
 	// totalHangs counts all diagnosed bug hangs, the denominator of the
 	// occurrence percentage column.
 	totalHangs int
+	// Health summarizes how degraded the measurement plane was while this
+	// report was collected; fleet merges sum it across devices. It stays
+	// zero — and invisible in Render and Export — on a perfect plane.
+	Health Health
 }
 
 // NewReport returns an empty report.
@@ -79,6 +83,7 @@ func (r *Report) Add(appName, device, actionUID string, diag Diagnosis, rt simcl
 // field study).
 func (r *Report) Merge(others ...*Report) {
 	for _, o := range others {
+		r.Health.Add(o.Health)
 		for key, oe := range o.entries {
 			e, ok := r.entries[key]
 			if !ok {
@@ -147,6 +152,9 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "%-66s %8d %7.0f%% %8d %9s\n",
 			fmt.Sprintf("%s (%s:%d)%s @ %s", e.RootCause, e.File, e.Line, kind, e.ActionUID),
 			e.Hangs, r.OccurrencePct(e), len(e.Devices), e.MaxResponse)
+	}
+	if !r.Health.Zero() {
+		fmt.Fprintf(&b, "\nDegraded-mode health: %s\n", r.Health)
 	}
 	return b.String()
 }

@@ -15,7 +15,25 @@ import (
 type reportWire struct {
 	Version int         `json:"version"`
 	Entries []entryWire `json:"entries"`
+	// Health is present only when the device's measurement plane degraded,
+	// so fault-free uploads are byte-identical to the pre-health schema.
+	Health *healthWire `json:"health,omitempty"`
 }
+
+type healthWire struct {
+	PerfOpenFailures int `json:"perf_open_failures,omitempty"`
+	PerfOpenRetries  int `json:"perf_open_retries,omitempty"`
+	CountersLost     int `json:"counters_lost,omitempty"`
+	RenderLost       int `json:"render_lost,omitempty"`
+	StacksDropped    int `json:"stacks_dropped,omitempty"`
+	StacksTruncated  int `json:"stacks_truncated,omitempty"`
+	SamplerOverruns  int `json:"sampler_overruns,omitempty"`
+	VerdictsDeferred int `json:"verdicts_deferred,omitempty"`
+	LowConfidence    int `json:"low_confidence,omitempty"`
+	Quarantines      int `json:"quarantines,omitempty"`
+}
+
+func (hw healthWire) toHealth() Health { return Health(hw) }
 
 type entryWire struct {
 	App         string   `json:"app"`
@@ -38,6 +56,10 @@ const reportWireVersion = 1
 // to strip device identifiers.
 func (r *Report) Export(w io.Writer) error {
 	doc := reportWire{Version: reportWireVersion}
+	if !r.Health.Zero() {
+		hw := healthWire(r.Health)
+		doc.Health = &hw
+	}
 	for _, e := range r.Entries() {
 		devs := make([]string, 0, len(e.Devices))
 		for d := range e.Devices {
@@ -56,7 +78,10 @@ func (r *Report) Export(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
-// ImportReport parses a JSON document produced by Export.
+// ImportReport parses a JSON document produced by Export, rejecting
+// corrupt uploads — negative counts or response times, empty root causes,
+// negative health counters — with descriptive errors instead of silently
+// merging garbage into the fleet report.
 func ImportReport(rd io.Reader) (*Report, error) {
 	var doc reportWire
 	if err := json.NewDecoder(rd).Decode(&doc); err != nil {
@@ -66,9 +91,31 @@ func ImportReport(rd io.Reader) (*Report, error) {
 		return nil, fmt.Errorf("core: unsupported report version %d", doc.Version)
 	}
 	out := NewReport()
+	if doc.Health != nil {
+		h := doc.Health.toHealth()
+		if h.PerfOpenFailures < 0 || h.PerfOpenRetries < 0 || h.CountersLost < 0 ||
+			h.RenderLost < 0 || h.StacksDropped < 0 || h.StacksTruncated < 0 ||
+			h.SamplerOverruns < 0 || h.VerdictsDeferred < 0 || h.LowConfidence < 0 ||
+			h.Quarantines < 0 {
+			return nil, fmt.Errorf("core: negative health counter in %+v", h)
+		}
+		out.Health = h
+	}
 	for _, ew := range doc.Entries {
+		if ew.RootCause == "" {
+			return nil, fmt.Errorf("core: entry for app %q action %q has empty root cause", ew.App, ew.ActionUID)
+		}
 		if ew.Hangs <= 0 {
-			return nil, fmt.Errorf("core: entry %s/%s has non-positive hang count", ew.App, ew.RootCause)
+			return nil, fmt.Errorf("core: entry %s/%s has non-positive hang count %d", ew.App, ew.RootCause, ew.Hangs)
+		}
+		if ew.MaxResponse < 0 {
+			return nil, fmt.Errorf("core: entry %s/%s has negative max response %d", ew.App, ew.RootCause, ew.MaxResponse)
+		}
+		if ew.SumResponse < 0 {
+			return nil, fmt.Errorf("core: entry %s/%s has negative response sum %d", ew.App, ew.RootCause, ew.SumResponse)
+		}
+		if ew.Line < 0 {
+			return nil, fmt.Errorf("core: entry %s/%s has negative line %d", ew.App, ew.RootCause, ew.Line)
 		}
 		e := &ReportEntry{
 			App: ew.App, ActionUID: ew.ActionUID, RootCause: ew.RootCause,
@@ -92,6 +139,7 @@ func ImportReport(rd io.Reader) (*Report, error) {
 func (r *Report) Anonymize(salt string) *Report {
 	out := NewReport()
 	out.totalHangs = r.totalHangs
+	out.Health = r.Health
 	for key, e := range r.entries {
 		ne := &ReportEntry{
 			App: e.App, ActionUID: e.ActionUID, RootCause: e.RootCause,

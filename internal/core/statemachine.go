@@ -50,6 +50,13 @@ type actionRecord struct {
 	// recent S-Checker flag, attributed to the next confirmed diagnosis
 	// (the Table 6 data).
 	lastSymptoms []int
+	// consecOpenFails counts consecutive executions whose perf sessions
+	// could not be opened at all; reaching Config.QuarantineAfter
+	// quarantines the action.
+	consecOpenFails int
+	// quarantineLeft is how many more executions skip S-Checker monitoring
+	// because the action's measurement plane kept failing.
+	quarantineLeft int
 }
 
 // transition records a state change, enforcing the legal edges of the
@@ -80,4 +87,7 @@ type StateTransition struct {
 	From, To  ActionState
 	Phase     string // "S-Checker" or "Diagnoser" or "Reset"
 	ExecSeq   int
+	// LowConfidence marks a verdict rendered from degraded data: main-only
+	// thresholds, partially lost counters, or a partial stack sample set.
+	LowConfidence bool
 }

@@ -65,6 +65,10 @@ type Telemetry struct {
 	// rngState drives reservoir replacement deterministically without an
 	// external RNG dependency (splitmix64 step).
 	rngState uint64
+	// Health is the degraded-operation summary the owning Doctor keeps in
+	// sync; it stays zero (and invisible in Render) on a perfect
+	// measurement plane.
+	Health Health
 }
 
 // NewTelemetry builds an empty telemetry store.
@@ -137,13 +141,18 @@ func (t *Telemetry) Render() string {
 			s.ActionUID, s.Executions, 100*s.HangRate(),
 			s.Percentile(0.50), s.Percentile(0.95), s.Percentile(0.99))
 	}
+	if !t.Health.Zero() {
+		fmt.Fprintf(&b, "\nDegraded-mode health: %s\n", t.Health)
+	}
 	return b.String()
 }
 
-// Telemetry returns the doctor's responsiveness dashboard.
+// Telemetry returns the doctor's responsiveness dashboard, stamped with the
+// current degraded-operation health.
 func (d *Doctor) Telemetry() *Telemetry {
 	if d.telemetry == nil {
 		d.telemetry = NewTelemetry(d.cfg.PerceivableDelay)
 	}
+	d.telemetry.Health = d.health
 	return d.telemetry
 }

@@ -108,6 +108,20 @@ func (s *Stack) Push(frame Frame) *Stack {
 	return &Stack{Frames: frames}
 }
 
+// Truncate returns a stack keeping only the n innermost (leaf-side) frames
+// — the shape of a partial dump cut off under load, which loses the
+// outermost caller frames first. It returns the receiver unchanged when n
+// covers the whole stack, and nil for n <= 0.
+func (s *Stack) Truncate(n int) *Stack {
+	if n <= 0 {
+		return nil
+	}
+	if s == nil || n >= len(s.Frames) {
+		return s
+	}
+	return &Stack{Frames: s.Frames[:n]}
+}
+
 // Concat returns a new stack with inner's frames below... is the leaf side;
 // specifically the result is inner.Frames followed by s.Frames, i.e. inner
 // becomes the innermost portion. Used to nest a blocking API inside library

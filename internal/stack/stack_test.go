@@ -156,3 +156,30 @@ func TestConcatProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestTruncate(t *testing.T) {
+	s := New(frame("a.Leaf", "l"), frame("a.Mid", "m"), frame("a.Root", "r"))
+	cut := s.Truncate(2)
+	if cut.Depth() != 2 {
+		t.Fatalf("Truncate(2) depth = %d", cut.Depth())
+	}
+	if cut.Leaf().Class != "a.Leaf" || cut.Frames[1].Class != "a.Mid" {
+		t.Fatalf("Truncate kept wrong frames: %v", cut.Frames)
+	}
+	if s.Depth() != 3 {
+		t.Fatal("Truncate mutated the receiver")
+	}
+	if got := s.Truncate(3); got != s {
+		t.Fatal("Truncate covering the whole stack must return the receiver")
+	}
+	if got := s.Truncate(10); got != s {
+		t.Fatal("Truncate beyond depth must return the receiver")
+	}
+	if got := s.Truncate(0); got != nil {
+		t.Fatalf("Truncate(0) = %v, want nil", got)
+	}
+	var nilStack *Stack
+	if got := nilStack.Truncate(2); got != nil {
+		t.Fatal("nil stack truncates to nil")
+	}
+}
