@@ -1,0 +1,75 @@
+// Command fleetd is the fleet ingestion server: the always-on half of the
+// paper's §3.2 upload path. Devices POST their anonymized Hang Bug Reports
+// to /v1/upload; fleetd validates each document, shards its entries across
+// single-writer merge goroutines behind a bounded backpressure queue, and
+// serves the folded fleet-wide report on /v1/report plus /healthz and
+// /metrics for operations.
+//
+// Usage:
+//
+//	fleetd -addr :8717 -shards 8 -queue 1024
+//
+// On SIGINT/SIGTERM the server stops accepting connections, drains every
+// upload it already acknowledged, and prints the final fleet report to
+// stdout before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hangdoctor/internal/fleet"
+)
+
+func main() {
+	addr := flag.String("addr", ":8717", "listen address")
+	shards := flag.Int("shards", 8, "number of single-writer merge shards")
+	queue := flag.Int("queue", 1024, "bounded ingest queue depth (429 beyond it)")
+	batch := flag.Int("batch", 16, "max fragments folded per shard merge")
+	retryAfter := flag.Duration("retry-after", time.Second, "backoff advertised on 429 responses")
+	printFinal := flag.Bool("print-final", true, "print the folded fleet report on shutdown")
+	flag.Parse()
+
+	agg := fleet.NewAggregator(fleet.Config{Shards: *shards, QueueDepth: *queue, BatchSize: *batch})
+	fs := fleet.NewServer(agg)
+	fs.RetryAfter = *retryAfter
+	srv := &http.Server{Addr: *addr, Handler: fs.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("fleetd listening on %s (%s)", *addr, agg)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("received %v, draining", s)
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+
+	// Stop intake first, then drain: in-flight requests finish (Submit keeps
+	// working), and only then does the aggregator fold what it acknowledged.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	agg.Close()
+	ms := agg.Metrics().Snapshot()
+	log.Printf("drained: accepted=%d rejected=%d invalid=%d merges=%d", ms.Accepted, ms.Rejected, ms.Invalid, ms.Merges)
+	if *printFinal {
+		rep := agg.Fold()
+		fmt.Printf("fleet report: %d root causes, %d diagnosed hangs\n\n%s", rep.Len(), rep.TotalHangs(), rep.Render())
+	}
+}

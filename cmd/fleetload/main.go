@@ -1,0 +1,169 @@
+// Command fleetload drives load against the fleet ingestion layer, either
+// over HTTP against a running fleetd or in-process against the shard layer
+// itself, and reports ingest throughput. The in-process mode sweeps shard
+// counts so the scaling claim (throughput grows with shards on a multicore
+// host) is reproducible from one command.
+//
+// Usage:
+//
+//	fleetload -url http://localhost:8717 -uploads 500 -conc 16
+//	fleetload -inproc -sweep 1,2,4,8 -uploads 2000
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hangdoctor/internal/core"
+	"hangdoctor/internal/fleet"
+)
+
+func main() {
+	url := flag.String("url", "", "fleetd base URL (e.g. http://localhost:8717); empty with -inproc")
+	inproc := flag.Bool("inproc", false, "bench the shard layer in-process instead of over HTTP")
+	sweep := flag.String("sweep", "1,2,4,8", "comma-separated shard counts for -inproc")
+	uploads := flag.Int("uploads", 500, "number of device uploads to send")
+	entries := flag.Int("entries", 120, "diagnosed root causes per upload")
+	conc := flag.Int("conc", 16, "concurrent senders")
+	seed := flag.Int64("seed", 1, "base PRNG seed for synthetic uploads")
+	flag.Parse()
+
+	switch {
+	case *inproc:
+		runInproc(*sweep, *uploads, *entries, *conc, *seed)
+	case *url != "":
+		runHTTP(*url, *uploads, *entries, *conc, *seed)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: fleetload -url <fleetd> | fleetload -inproc [-sweep 1,2,4,8]")
+		os.Exit(2)
+	}
+}
+
+// payloads pre-exports the synthetic uploads so generation cost never
+// pollutes the ingest measurement.
+func payloads(uploads, entries int, seed int64) [][]byte {
+	out := make([][]byte, uploads)
+	for i := range out {
+		rep := fleet.SyntheticUpload(seed+int64(i), fmt.Sprintf("device-%04d", i), entries)
+		var buf bytes.Buffer
+		if err := rep.Export(&buf); err != nil {
+			log.Fatalf("export: %v", err)
+		}
+		out[i] = buf.Bytes()
+	}
+	return out
+}
+
+func runHTTP(base string, uploads, entries, conc int, seed int64) {
+	docs := payloads(uploads, entries, seed)
+	var accepted, throttled, failed atomic.Int64
+	var wg sync.WaitGroup
+	next := make(chan []byte)
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for doc := range next {
+				for {
+					resp, err := client.Post(base+"/v1/upload", "application/json", bytes.NewReader(doc))
+					if err != nil {
+						failed.Add(1)
+						break
+					}
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode == http.StatusTooManyRequests {
+						// Honor the server's backpressure and retry.
+						throttled.Add(1)
+						delay := time.Second
+						if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+							delay = time.Duration(ra) * time.Second
+						}
+						time.Sleep(delay)
+						continue
+					}
+					if resp.StatusCode == http.StatusAccepted {
+						accepted.Add(1)
+					} else {
+						failed.Add(1)
+					}
+					break
+				}
+			}
+		}()
+	}
+	for _, doc := range docs {
+		next <- doc
+	}
+	close(next)
+	wg.Wait()
+	el := time.Since(start)
+	fmt.Printf("sent %d uploads in %v: %.0f uploads/s (accepted=%d throttled-retries=%d failed=%d)\n",
+		uploads, el.Round(time.Millisecond), float64(uploads)/el.Seconds(),
+		accepted.Load(), throttled.Load(), failed.Load())
+}
+
+func runInproc(sweep string, uploads, entries, conc int, seed int64) {
+	reps := make([]*core.Report, uploads)
+	for i := range reps {
+		reps[i] = fleet.SyntheticUpload(seed+int64(i), fmt.Sprintf("device-%04d", i), entries)
+	}
+	type row struct {
+		shards int
+		rate   float64
+	}
+	var rows []row
+	for _, f := range strings.Split(sweep, ",") {
+		shards, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || shards < 1 {
+			log.Fatalf("bad -sweep element %q", f)
+		}
+		agg := fleet.NewAggregator(fleet.Config{Shards: shards, QueueDepth: 4 * uploads})
+		start := time.Now()
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					// Submissions hand ownership to the aggregator; clone so
+					// the pre-built upload survives for the next sweep point.
+					if err := agg.SubmitWait(reps[i].Clone()); err != nil {
+						log.Fatalf("submit: %v", err)
+					}
+				}
+			}()
+		}
+		for i := range reps {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		agg.Close() // drain: the measurement covers every merge
+		el := time.Since(start)
+		rate := float64(uploads) / el.Seconds()
+		rows = append(rows, row{shards, rate})
+		rep := agg.Fold()
+		fmt.Printf("shards=%-2d  %8.0f uploads/s  (%v total, %d causes, %d hangs)\n",
+			shards, rate, el.Round(time.Millisecond), rep.Len(), rep.TotalHangs())
+	}
+	if len(rows) > 1 {
+		base := rows[0]
+		for _, r := range rows[1:] {
+			fmt.Printf("speedup %d->%d shards: %.2fx\n", base.shards, r.shards, r.rate/base.rate)
+		}
+	}
+}

@@ -48,6 +48,7 @@ type Doctor struct {
 	perfSess    *perf.Session
 	earlyRead   *perf.Reading
 	earlyTimer  *simclock.Event
+	retryTimer  *simclock.Event
 	curRec      *actionRecord
 	curExec     *app.ActionExec
 	curTraces   []*stack.Stack
@@ -98,10 +99,27 @@ func (d *Doctor) Attach(s *app.Session) {
 	d.deviceLabel = s.Device.Name
 }
 
-// Detach implements detect.Detector.
+// Detach implements detect.Detector. It may be called mid-action (app
+// shutdown, detector swap), so it must release the whole measurement plane:
+// the open perf session is stopped with its read cost charged, pending
+// timers are cancelled, and per-execution state is cleared so a later
+// re-attach starts clean instead of inheriting a dangling execution.
 func (d *Doctor) Detach() {
 	d.stopSampler()
+	d.wide.stopSampler()
 	d.cancelEarly()
+	d.cancelRetry()
+	if d.perfSess != nil {
+		d.perfSess.Stop()
+		d.log.AddCost(d.perfSess.CostNs())
+		d.perfSess = nil
+	}
+	d.earlyRead = nil
+	d.curRec = nil
+	d.curExec = nil
+	d.curTraces = nil
+	d.curDropped = 0
+	d.openFailed = false
 }
 
 // State returns an action's current state (Uncategorized if never seen).
@@ -217,7 +235,8 @@ func (d *Doctor) openPerf(r *actionRecord, e *app.ActionExec, attempt int) {
 		if attempt < d.cfg.PerfOpenRetries {
 			d.health.PerfOpenRetries++
 			backoff := d.cfg.PerfRetryBackoff << attempt
-			d.session.Clk.After(backoff, func() {
+			d.retryTimer = d.session.Clk.After(backoff, func() {
+				d.retryTimer = nil
 				if d.curExec == e && d.perfSess == nil && d.earlyRead == nil {
 					d.openPerf(r, e, attempt+1)
 				}
@@ -310,6 +329,13 @@ func (d *Doctor) cancelEarly() {
 	}
 }
 
+func (d *Doctor) cancelRetry() {
+	if d.retryTimer != nil {
+		d.session.Clk.Cancel(d.retryTimer)
+		d.retryTimer = nil
+	}
+}
+
 // EventEnd stops trace collection at the end of a hanging event.
 func (d *Doctor) EventEnd(e *app.ActionExec, ev *app.EventExec) {
 	d.stopSampler()
@@ -326,6 +352,16 @@ func (d *Doctor) ActionEnd(e *app.ActionExec) {
 		return
 	}
 	d.cancelEarly()
+	if d.retryTimer != nil {
+		// The action ended while an open retry was still backing off: every
+		// attempt this execution made has failed, and no further one can run
+		// inside its window. Count the execution as an open failure now —
+		// otherwise actions shorter than the backoff never accumulate
+		// consecutive failures and quarantine never engages — and cancel the
+		// stale callback so it cannot fire into a later execution.
+		d.cancelRetry()
+		d.openFailed = true
+	}
 	rt := e.ResponseTime()
 	hang := rt > d.cfg.PerceivableDelay
 	d.Telemetry().Record(r.uid, rt)
@@ -511,12 +547,15 @@ func (d *Doctor) recordDetection(r *actionRecord, e *app.ActionExec, rt simclock
 			ActionUID: r.uid, RootCause: diag.RootCause,
 			File: diag.File, Line: diag.Line,
 			Occurrence: diag.Occurrence,
-			Symptoms:   append([]int(nil), r.lastSymptoms...),
 			ViaCaller:  diag.ViaCaller,
 			FirstAt:    e.End,
 		}
 		d.detections[key] = det
 	}
+	// Symptoms track the latest S-Checker firing, not the first: after a
+	// periodic reset re-flags the action, the re-detection may rest on a
+	// different condition set than the original one (Table 6 data).
+	det.Symptoms = append([]int(nil), r.lastSymptoms...)
 	det.Count++
 	if rt > det.MaxResponse {
 		det.MaxResponse = rt

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/detect"
+	"hangdoctor/internal/fault"
+	"hangdoctor/internal/simclock"
+)
+
+// TestQuarantineEngagesMidBackoff is the regression test for the
+// short-action quarantine bug: openFailed used to be set only by the *final*
+// retry attempt, so when an action ended while a backoff timer was still
+// pending, the no-reading branch of sCheck saw openFailed == false,
+// consecOpenFails never advanced, and a permanently failing measurement
+// plane never quarantined any action shorter than the backoff. With the
+// backoff stretched to an hour, every K9-Mail action ends mid-backoff, so
+// before the fix this run recorded zero quarantines.
+func TestQuarantineEngagesMidBackoff(t *testing.T) {
+	d, _ := runFaulted(t, "K9-Mail", Config{PerfRetryBackoff: simclock.Hour}, 11, 140,
+		fault.New(7, fault.Rates{PerfOpenFail: 1}))
+	h := d.Health()
+	if h.PerfOpenFailures == 0 || h.PerfOpenRetries == 0 {
+		t.Fatalf("precondition failed: expected open failures and scheduled retries, got %s", h)
+	}
+	if h.Quarantines == 0 {
+		t.Errorf("quarantine never engaged although every open failed and every action ended mid-backoff: %s", h)
+	}
+	if n := len(d.Detections()); n != 0 {
+		t.Errorf("diagnosed %d bugs with no counter evidence", n)
+	}
+}
+
+// TestDetachMidActionReleasesMeasurementPlane is the regression test for the
+// Detach leak: detaching mid-action used to stop only the sampler and early
+// timer, leaving the open perf session unread (its cost never charged) and
+// curRec/curExec/earlyRead dangling into a later re-attach.
+func TestDetachMidActionReleasesMeasurementPlane(t *testing.T) {
+	a := corpus.Build().MustApp("K9-Mail")
+	d := New(Config{})
+	h, err := detect.NewHarness(a, app.LGV10(), 11, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.Session
+	trace := corpus.Trace(a, 11, 60)
+
+	checked := false
+	// The callback lands mid-action: Perform drives the clock through it
+	// while the first action is still executing and its session is open.
+	s.Clk.After(simclock.Microsecond, func() {
+		checked = true
+		if d.perfSess == nil {
+			t.Fatal("precondition failed: no perf session open mid-action")
+		}
+		costBefore := d.log.CostNs
+		d.Detach()
+		if d.perfSess != nil {
+			t.Error("Detach left the perf session open")
+		}
+		if d.log.CostNs <= costBefore {
+			t.Error("Detach did not charge the open session's read cost")
+		}
+		if d.curRec != nil || d.curExec != nil {
+			t.Error("Detach left per-execution state dangling")
+		}
+		if d.earlyRead != nil || d.curTraces != nil || d.curDropped != 0 {
+			t.Error("Detach left stale collection state")
+		}
+	})
+	s.Perform(trace[0])
+	if !checked {
+		t.Fatal("mid-action callback never ran")
+	}
+
+	// Re-attach and keep running: the Doctor must start from a clean plane,
+	// not from the interrupted execution's leftovers.
+	d.Attach(s)
+	for _, act := range trace[1:] {
+		s.Perform(act)
+		s.Idle(simclock.Second)
+	}
+	if len(d.Transitions()) == 0 {
+		t.Error("no state transitions recorded after re-attach")
+	}
+	if d.perfSess != nil {
+		t.Error("perf session still open after the re-attached run ended")
+	}
+}
+
+// TestRedetectionRefreshesSymptoms is the regression test for the stale
+// Detection.Symptoms bug: recordDetection used to copy r.lastSymptoms only
+// when the detection was first created, so after a ResetEvery cycle
+// re-flagged the action under *different* S-Checker conditions, the report
+// kept the original symptom set forever.
+func TestRedetectionRefreshesSymptoms(t *testing.T) {
+	a := corpus.Build().MustApp("K9-Mail")
+	d := New(Config{})
+	if _, err := detect.NewHarness(a, app.LGV10(), 11, d); err != nil {
+		t.Fatal(err)
+	}
+	r := d.record("K9-Mail/Inbox")
+	diag := Diagnosis{RootCause: "com.example.Blocking.run", File: "Blocking.java", Line: 42, Occurrence: 0.8}
+
+	r.lastSymptoms = []int{0}
+	d.recordDetection(r, &app.ActionExec{}, 200*simclock.Millisecond, diag)
+
+	// As after a periodic reset: the S-Checker re-flags the same action, now
+	// on different conditions, and the Diagnoser confirms the same cause.
+	r.lastSymptoms = []int{1, 2}
+	d.recordDetection(r, &app.ActionExec{}, 150*simclock.Millisecond, diag)
+
+	dets := d.Detections()
+	if len(dets) != 1 {
+		t.Fatalf("expected one detection, got %d", len(dets))
+	}
+	if got, want := dets[0].Symptoms, []int{1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Symptoms = %v after re-detection, want latest firing %v", got, want)
+	}
+	if dets[0].Count != 2 {
+		t.Errorf("Count = %d, want 2", dets[0].Count)
+	}
+}

@@ -1,0 +1,330 @@
+// Package fleet is the server side of the paper's §3.2 field-study loop at
+// production scale: many devices upload Hang Bug Reports ((*core.Report)
+// documents) and the service aggregates them into one fleet-wide view.
+//
+// The write path is sharded: an upload is accepted into a bounded intake
+// queue (backpressure, not unbounded buffering, when ingest outruns
+// merging), split by a stable hash of each entry's identity into per-shard
+// fragments, and merged by N single-writer shard goroutines, each owning a
+// private core.Report. Reads fold shard snapshots on demand. Because
+// core.Report.Merge is commutative and associative, the folded view is
+// byte-identical to a serial merge of the same uploads regardless of shard
+// count, batch boundaries, or arrival order — the property the determinism
+// tests pin down.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"hangdoctor/internal/core"
+)
+
+// Errors Submit can return.
+var (
+	// ErrQueueFull means the intake queue is at capacity; the caller should
+	// back off and retry (the HTTP layer maps it to 429 + Retry-After).
+	ErrQueueFull = errors.New("fleet: ingest queue full")
+	// ErrClosed means the aggregator is shutting down and accepts no more
+	// uploads (mapped to 503).
+	ErrClosed = errors.New("fleet: aggregator closed")
+)
+
+// Config parameterizes an Aggregator. The zero value is completed by
+// defaults suitable for tests and small deployments.
+type Config struct {
+	// Shards is the number of single-writer merge goroutines; entry keys
+	// hash onto them (default 4).
+	Shards int
+	// QueueDepth bounds the intake queue; a full queue rejects uploads with
+	// ErrQueueFull instead of buffering without limit (default 256).
+	QueueDepth int
+	// BatchSize is the most fragments a shard folds per merge call; batching
+	// amortizes per-wakeup overhead under load without adding latency when
+	// idle (default 16).
+	BatchSize int
+	// Dispatchers is the number of goroutines splitting queued uploads into
+	// per-shard fragments; splitting hashes every entry, so it must scale
+	// alongside the shards or it becomes the serial bottleneck (default:
+	// max(Shards, GOMAXPROCS/2)).
+	Dispatchers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 16
+	}
+	if c.Dispatchers <= 0 {
+		c.Dispatchers = c.Shards
+		if half := runtime.GOMAXPROCS(0) / 2; half > c.Dispatchers {
+			c.Dispatchers = half
+		}
+	}
+	return c
+}
+
+// ShardStats is one shard's cheap self-description, served from inside the
+// shard goroutine so no reader ever touches single-writer state.
+type ShardStats struct {
+	Entries int
+	Hangs   int
+	Health  core.Health
+}
+
+// shardMsg is the only thing that crosses into a shard goroutine: either a
+// fragment to merge or a control request (exactly one field is set).
+type shardMsg struct {
+	frag  *core.Report
+	stats chan ShardStats
+	snap  chan *core.Report
+}
+
+// Aggregator is the sharded fleet-report builder.
+type Aggregator struct {
+	cfg     Config
+	intake  chan *core.Report
+	shards  []chan shardMsg
+	metrics Metrics
+
+	mu        sync.RWMutex
+	closed    bool // no further Submits
+	finalized bool // shards exited; finals hold their reports
+	finals    []*core.Report
+
+	dispatchWG sync.WaitGroup
+	shardWG    sync.WaitGroup
+}
+
+// NewAggregator starts the shard and dispatcher goroutines and returns an
+// aggregator ready for Submit. Call Close to drain and stop it.
+func NewAggregator(cfg Config) *Aggregator {
+	cfg = cfg.withDefaults()
+	a := &Aggregator{
+		cfg:    cfg,
+		intake: make(chan *core.Report, cfg.QueueDepth),
+		shards: make([]chan shardMsg, cfg.Shards),
+		finals: make([]*core.Report, cfg.Shards),
+	}
+	a.metrics.queueCap = cfg.QueueDepth
+	for i := range a.shards {
+		a.shards[i] = make(chan shardMsg, 2*cfg.BatchSize)
+		a.shardWG.Add(1)
+		go a.runShard(i)
+	}
+	for i := 0; i < cfg.Dispatchers; i++ {
+		a.dispatchWG.Add(1)
+		go a.runDispatcher()
+	}
+	return a
+}
+
+// Shards returns the configured shard count.
+func (a *Aggregator) Shards() int { return a.cfg.Shards }
+
+// QueueDepth returns the current intake backlog.
+func (a *Aggregator) QueueDepth() int { return len(a.intake) }
+
+// Metrics returns the aggregator's counters.
+func (a *Aggregator) Metrics() *Metrics { return &a.metrics }
+
+// Submit enqueues one validated upload without blocking. It returns
+// ErrQueueFull when the bounded queue is at capacity and ErrClosed after
+// Close; on success the report is owned by the aggregator (callers must not
+// mutate it afterwards).
+func (a *Aggregator) Submit(rep *core.Report) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		a.metrics.rejected.Add(1)
+		return ErrClosed
+	}
+	select {
+	case a.intake <- rep:
+		a.metrics.accepted.Add(1)
+		return nil
+	default:
+		a.metrics.rejected.Add(1)
+		return ErrQueueFull
+	}
+}
+
+// SubmitWait is Submit without the non-blocking policy: it waits for queue
+// space instead of rejecting. Bulk importers (cmd/fleet) and benchmarks use
+// it; the HTTP path uses Submit so overload turns into backpressure.
+func (a *Aggregator) SubmitWait(rep *core.Report) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		a.metrics.rejected.Add(1)
+		return ErrClosed
+	}
+	a.intake <- rep
+	a.metrics.accepted.Add(1)
+	return nil
+}
+
+// runDispatcher splits queued uploads into per-shard fragments. Several
+// dispatchers run concurrently — splitting hashes every entry, and a single
+// splitter would serialize the whole write path (Amdahl) — which is safe
+// because fragment routing is order-independent under a commutative merge.
+func (a *Aggregator) runDispatcher() {
+	defer a.dispatchWG.Done()
+	for rep := range a.intake {
+		for i, frag := range rep.Split(a.cfg.Shards) {
+			if frag == nil {
+				continue
+			}
+			a.shards[i] <- shardMsg{frag: frag}
+		}
+	}
+}
+
+// runShard is a single-writer merge loop: only this goroutine ever touches
+// its core.Report. Fragments are drained in batches of up to BatchSize per
+// merge call; control messages (stats/snapshot) are answered between
+// batches, so they observe merge-complete states only.
+func (a *Aggregator) runShard(i int) {
+	defer a.shardWG.Done()
+	rep := core.NewReport()
+	ch := a.shards[i]
+	batch := make([]*core.Report, 0, a.cfg.BatchSize)
+	ctrl := make([]shardMsg, 0, 4)
+	serve := func(m shardMsg) {
+		switch {
+		case m.stats != nil:
+			m.stats <- ShardStats{Entries: rep.Len(), Hangs: rep.TotalHangs(), Health: rep.Health}
+		case m.snap != nil:
+			m.snap <- rep.Clone()
+		}
+	}
+	for msg := range ch {
+		if msg.frag == nil {
+			serve(msg)
+			continue
+		}
+		batch = append(batch[:0], msg.frag)
+		ctrl = ctrl[:0]
+	drain:
+		for len(batch) < a.cfg.BatchSize {
+			select {
+			case m2, ok := <-ch:
+				if !ok {
+					break drain
+				}
+				if m2.frag == nil {
+					// Answer after the in-flight batch merges.
+					ctrl = append(ctrl, m2)
+					break drain
+				}
+				batch = append(batch, m2.frag)
+			default:
+				break drain
+			}
+		}
+		start := time.Now()
+		rep.Merge(batch...)
+		a.metrics.merges.Add(1)
+		a.metrics.mergedFragments.Add(int64(len(batch)))
+		a.metrics.mergeNs.Add(time.Since(start).Nanoseconds())
+		for _, m2 := range ctrl {
+			serve(m2)
+		}
+	}
+	a.finals[i] = rep
+}
+
+// ShardStats queries every shard; after Close it reads the final reports
+// directly.
+func (a *Aggregator) ShardStats() []ShardStats {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]ShardStats, a.cfg.Shards)
+	if a.finalized {
+		// Shard channels are closed; wait for the drain to finish (outside
+		// the lock) and read the final reports directly.
+		a.mu.RUnlock()
+		a.shardWG.Wait()
+		a.mu.RLock()
+		for i, rep := range a.finals {
+			out[i] = ShardStats{Entries: rep.Len(), Hangs: rep.TotalHangs(), Health: rep.Health}
+		}
+		return out
+	}
+	replies := make([]chan ShardStats, a.cfg.Shards)
+	for i, ch := range a.shards {
+		replies[i] = make(chan ShardStats, 1)
+		ch <- shardMsg{stats: replies[i]}
+	}
+	for i := range replies {
+		out[i] = <-replies[i]
+	}
+	return out
+}
+
+// Fold snapshots every shard and merges the snapshots, in shard order, into
+// one fleet report. While traffic is in flight the result is a consistent
+// merge-boundary snapshot per shard (not a global cut); once the aggregator
+// is closed and drained it is the exact fleet total, byte-identical in
+// Export/Render to a serial merge of every accepted upload.
+func (a *Aggregator) Fold() *core.Report {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.finalized {
+		a.mu.RUnlock()
+		a.shardWG.Wait()
+		a.mu.RLock()
+		return core.FoldReports(a.finals...)
+	}
+	replies := make([]chan *core.Report, a.cfg.Shards)
+	for i, ch := range a.shards {
+		replies[i] = make(chan *core.Report, 1)
+		ch <- shardMsg{snap: replies[i]}
+	}
+	snaps := make([]*core.Report, a.cfg.Shards)
+	for i := range replies {
+		snaps[i] = <-replies[i]
+	}
+	return core.FoldReports(snaps...)
+}
+
+// Close drains and stops the aggregator: no new uploads are accepted, but
+// everything already queued is split and merged before Close returns, so a
+// graceful shutdown loses nothing it acknowledged. Close is idempotent.
+func (a *Aggregator) Close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		a.shardWG.Wait()
+		return
+	}
+	a.closed = true
+	close(a.intake)
+	a.mu.Unlock()
+
+	a.dispatchWG.Wait()
+	// finalized must flip in the same critical section that closes the shard
+	// channels: a snapshot that sees finalized==false is about to send a
+	// control message, and a send may never race a close.
+	a.mu.Lock()
+	a.finalized = true
+	for _, ch := range a.shards {
+		close(ch)
+	}
+	a.mu.Unlock()
+	a.shardWG.Wait()
+}
+
+// String describes the aggregator's shape for logs.
+func (a *Aggregator) String() string {
+	return fmt.Sprintf("fleet.Aggregator{shards=%d queue=%d batch=%d dispatchers=%d}",
+		a.cfg.Shards, a.cfg.QueueDepth, a.cfg.BatchSize, a.cfg.Dispatchers)
+}

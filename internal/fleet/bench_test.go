@@ -1,0 +1,47 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+
+	"hangdoctor/internal/core"
+)
+
+// BenchmarkIngest measures end-to-end ingest throughput (submit, split,
+// shard merge, drain) as a function of shard count. On a multicore host the
+// uploads/sec should scale with shards until merge parallelism saturates —
+// the acceptance bar is ≥2× going 1→4 shards. Run with:
+//
+//	go test -bench Ingest -benchtime 2s ./internal/fleet/
+//
+// ns/op is the per-upload cost, so throughput = 1e9/ns-op.
+func BenchmarkIngest(b *testing.B) {
+	reps := uploads(128, 120) // generated outside every timed region
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			agg := NewAggregator(Config{Shards: shards, QueueDepth: 4096, BatchSize: 16})
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := agg.SubmitWait(reps[i%len(reps)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			agg.Close() // the measurement covers every merge
+			b.StopTimer()
+			if agg.Fold().Len() == 0 {
+				b.Fatal("benchmark merged nothing")
+			}
+		})
+	}
+}
+
+// BenchmarkSerialMerge is the pre-sharding baseline: one goroutine folding
+// every upload into one report, the shape of the old offline cmd/fleet path.
+func BenchmarkSerialMerge(b *testing.B) {
+	reps := uploads(128, 120)
+	b.ResetTimer()
+	rep := core.NewReport()
+	for i := 0; i < b.N; i++ {
+		rep.Merge(reps[i%len(reps)])
+	}
+}

@@ -1,0 +1,50 @@
+package fleet
+
+import "sync/atomic"
+
+// Metrics are the aggregator's ingestion counters. All fields are atomics so
+// the hot path never takes a lock to account an upload.
+type Metrics struct {
+	accepted        atomic.Int64
+	rejected        atomic.Int64
+	invalid         atomic.Int64
+	merges          atomic.Int64
+	mergedFragments atomic.Int64
+	mergeNs         atomic.Int64
+	queueCap        int
+}
+
+// NoteInvalid counts an upload that failed validation before it could be
+// queued (the HTTP layer's 400 path).
+func (m *Metrics) NoteInvalid() { m.invalid.Add(1) }
+
+// MetricsSnapshot is a point-in-time copy of the counters.
+type MetricsSnapshot struct {
+	// Accepted counts uploads admitted to the intake queue.
+	Accepted int64
+	// Rejected counts uploads refused for backpressure or shutdown.
+	Rejected int64
+	// Invalid counts uploads that failed schema validation.
+	Invalid int64
+	// Merges counts shard merge calls; MergedFragments counts the fragments
+	// they folded (MergedFragments/Merges is the realized batch size).
+	Merges          int64
+	MergedFragments int64
+	// MergeNs is total wall time spent inside shard merges.
+	MergeNs int64
+	// QueueCapacity is the configured intake bound.
+	QueueCapacity int
+}
+
+// Snapshot reads every counter once.
+func (m *Metrics) Snapshot() MetricsSnapshot {
+	return MetricsSnapshot{
+		Accepted:        m.accepted.Load(),
+		Rejected:        m.rejected.Load(),
+		Invalid:         m.invalid.Load(),
+		Merges:          m.merges.Load(),
+		MergedFragments: m.mergedFragments.Load(),
+		MergeNs:         m.mergeNs.Load(),
+		QueueCapacity:   m.queueCap,
+	}
+}

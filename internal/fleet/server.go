@@ -1,0 +1,155 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"hangdoctor/internal/core"
+)
+
+// Server is the HTTP face of an Aggregator:
+//
+//	POST /v1/upload  — one (*core.Report).Export JSON document per request
+//	GET  /v1/report  — the folded fleet report (text, or ?format=json)
+//	GET  /healthz    — liveness + queue occupancy
+//	GET  /metrics    — Prometheus text exposition
+type Server struct {
+	agg *Aggregator
+	// MaxBodyBytes bounds an upload document (default 8 MiB); oversized
+	// bodies fail validation rather than exhausting memory.
+	MaxBodyBytes int64
+	// RetryAfter is the backoff advertised on 429 responses (default 1s).
+	RetryAfter time.Duration
+}
+
+// NewServer wraps an aggregator with default limits.
+func NewServer(agg *Aggregator) *Server {
+	return &Server{agg: agg, MaxBodyBytes: 8 << 20, RetryAfter: time.Second}
+}
+
+// Handler returns the route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/upload", s.handleUpload)
+	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		http.Error(w, "upload requires POST", http.StatusMethodNotAllowed)
+		return
+	}
+	rep, err := core.ImportReport(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+	if err != nil {
+		s.agg.Metrics().NoteInvalid()
+		http.Error(w, fmt.Sprintf("invalid report: %v", err), http.StatusBadRequest)
+		return
+	}
+	switch err := s.agg.Submit(rep); err {
+	case nil:
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "accepted", "entries": rep.Len(), "hangs": rep.TotalHangs(),
+		})
+	case ErrQueueFull:
+		// Backpressure: the device should retry after a pause instead of the
+		// server buffering without bound.
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.RetryAfter+time.Second-1)/time.Second)))
+		http.Error(w, "ingest queue full, retry later", http.StatusTooManyRequests)
+	case ErrClosed:
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "report requires GET", http.StatusMethodNotAllowed)
+		return
+	}
+	rep := s.agg.Fold()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := rep.Export(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "fleet report: %d root causes, %d diagnosed hangs\n\n", rep.Len(), rep.TotalHangs())
+	fmt.Fprint(w, rep.Render())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	ms := s.agg.Metrics().Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":         "ok",
+		"shards":         s.agg.Shards(),
+		"queue_depth":    s.agg.QueueDepth(),
+		"queue_capacity": ms.QueueCapacity,
+		"accepted":       ms.Accepted,
+		"rejected":       ms.Rejected,
+		"invalid":        ms.Invalid,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	ms := s.agg.Metrics().Snapshot()
+	stats := s.agg.ShardStats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	counter("hangdoctor_fleet_uploads_accepted_total", "Uploads admitted to the intake queue.", ms.Accepted)
+	counter("hangdoctor_fleet_uploads_rejected_total", "Uploads refused for backpressure or shutdown.", ms.Rejected)
+	counter("hangdoctor_fleet_uploads_invalid_total", "Uploads that failed validation.", ms.Invalid)
+	gauge("hangdoctor_fleet_queue_depth", "Current intake backlog.", int64(s.agg.QueueDepth()))
+	gauge("hangdoctor_fleet_queue_capacity", "Configured intake bound.", int64(ms.QueueCapacity))
+	counter("hangdoctor_fleet_merges_total", "Shard merge calls.", ms.Merges)
+	counter("hangdoctor_fleet_merged_fragments_total", "Fragments folded across all merges.", ms.MergedFragments)
+	counter("hangdoctor_fleet_merge_latency_ns_sum", "Total wall time inside shard merges.", ms.MergeNs)
+
+	var entries, hangs int64
+	var health core.Health
+	fmt.Fprintf(w, "# HELP hangdoctor_fleet_shard_entries Root-cause entries owned by each shard.\n# TYPE hangdoctor_fleet_shard_entries gauge\n")
+	for i, st := range stats {
+		fmt.Fprintf(w, "hangdoctor_fleet_shard_entries{shard=\"%d\"} %d\n", i, st.Entries)
+		entries += int64(st.Entries)
+		hangs += int64(st.Hangs)
+		health.Add(st.Health)
+	}
+	gauge("hangdoctor_fleet_entries", "Distinct root causes fleet-wide.", entries)
+	gauge("hangdoctor_fleet_hangs", "Diagnosed soft hangs fleet-wide.", hangs)
+	for _, hc := range []struct {
+		name string
+		v    int
+	}{
+		{"perf_open_failures", health.PerfOpenFailures},
+		{"perf_open_retries", health.PerfOpenRetries},
+		{"counters_lost", health.CountersLost},
+		{"render_lost", health.RenderLost},
+		{"stacks_dropped", health.StacksDropped},
+		{"stacks_truncated", health.StacksTruncated},
+		{"sampler_overruns", health.SamplerOverruns},
+		{"verdicts_deferred", health.VerdictsDeferred},
+		{"low_confidence", health.LowConfidence},
+		{"quarantines", health.Quarantines},
+	} {
+		name := "hangdoctor_fleet_health_" + hc.name
+		gauge(name, "Summed degraded-mode health counter across devices.", int64(hc.v))
+	}
+}
