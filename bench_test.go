@@ -16,6 +16,7 @@ package hangdoctor
 // test suites under internal/experiments.
 
 import (
+	"fmt"
 	"testing"
 
 	"hangdoctor/internal/android/app"
@@ -35,12 +36,16 @@ func benchScale() experiments.Scale {
 
 func benchCtx(b *testing.B) *experiments.Context {
 	b.Helper()
+	// NewContext reuses the memoized shared corpus (corpus.Shared), so the
+	// context itself is cheap; only the experiment body is being measured.
 	return experiments.NewContext(42, benchScale())
 }
 
 func runExperiment(b *testing.B, name string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
+		// A fresh context per iteration resets the known-blocking database
+		// without rebuilding the corpus — Shared() memoizes the 114 apps.
 		ctx := experiments.NewContext(42, benchScale())
 		res, err := experiments.Run(ctx, name)
 		if err != nil {
@@ -51,6 +56,38 @@ func runExperiment(b *testing.B, name string) {
 		}
 	}
 }
+
+// benchParallelExperiment reruns one sweep experiment at fixed worker-pool
+// sizes, the same shape as internal/fleet's shard-scaling benches. Compare
+// ns/op across sub-benchmarks to see pool scaling; on a multi-core runner
+// table5 and fig8 should improve near-linearly until worker count passes
+// physical cores, with byte-identical artifacts throughout (asserted by
+// TestRenderDeterministicAcrossParallelism).
+func benchParallelExperiment(b *testing.B, name string) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("parallel=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ctx := experiments.NewContext(42, benchScale())
+				ctx.Parallel = workers
+				res, err := experiments.Run(ctx, name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Render() == "" {
+					b.Fatal("empty artifact")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScalingTable5 measures worker-pool scaling on the heaviest sweep
+// (114 apps × harness runs).
+func BenchmarkScalingTable5(b *testing.B) { benchParallelExperiment(b, "table5") }
+
+// BenchmarkScalingFig8 measures worker-pool scaling on the detector
+// comparison (8 apps × 6 detectors).
+func BenchmarkScalingFig8(b *testing.B) { benchParallelExperiment(b, "fig8") }
 
 // BenchmarkTable1Corpus regenerates Table 1 (the motivation-app inventory).
 func BenchmarkTable1Corpus(b *testing.B) { runExperiment(b, "table1") }
@@ -109,7 +146,7 @@ func BenchmarkFig8Detection(b *testing.B) { runExperiment(b, "fig8") }
 // runHDVariant runs one Hang Doctor configuration over the K9-Mail trace.
 func runHDVariant(b *testing.B, cfg core.Config) {
 	b.Helper()
-	c := corpus.Build()
+	c := corpus.Shared()
 	a := c.MustApp("K9-Mail")
 	trace := corpus.Trace(a, 42, benchScale().TracePerApp)
 	b.ResetTimer()

@@ -3,15 +3,20 @@
 //
 // Usage:
 //
-//	experiments [-run name[,name...]] [-seed N] [-scale small|full] [-list]
+//	experiments [-run name[,name...]] [-seed N] [-scale small|full]
+//	            [-parallel N] [-cpuprofile file] [-memprofile file] [-list]
 //
-// With no -run flag it regenerates everything in paper order.
+// With no -run flag it regenerates everything in paper order. -parallel
+// bounds the experiment engine's worker pool (0 = one worker per CPU,
+// 1 = serial); artifacts are byte-identical at every setting.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -22,6 +27,9 @@ func main() {
 	runFlag := flag.String("run", "", "comma-separated experiment names (default: all)")
 	seed := flag.Uint64("seed", 42, "deterministic experiment seed")
 	scaleFlag := flag.String("scale", "full", "workload scale: small or full")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = one per CPU, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	list := flag.Bool("list", false, "list experiment names and exit")
 	flag.Parse()
 
@@ -51,7 +59,22 @@ func main() {
 		names = strings.Split(*runFlag, ",")
 	}
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	ctx := experiments.NewContext(*seed, scale)
+	ctx.Parallel = *parallel
 	for _, name := range names {
 		start := time.Now()
 		res, err := experiments.Run(ctx, strings.TrimSpace(name))
@@ -61,5 +84,19 @@ func main() {
 		}
 		fmt.Println(res.Render())
 		fmt.Printf("[%s regenerated in %v]\n\n", res.Name(), time.Since(start).Round(time.Millisecond))
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // settle live-heap accounting before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

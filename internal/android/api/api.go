@@ -88,6 +88,11 @@ type Registry struct {
 	knownBlocking map[string]bool
 }
 
+// ShippedYear is the year the known-blocking database ships snapshotted to
+// — the paper's present day. NewRegistry starts from this snapshot, and
+// corpus.Shared resets the database back to it between contexts.
+const ShippedYear = 2017
+
 // NewRegistry returns a registry preloaded with the standard platform
 // classes and the blocking APIs the paper names, with the known-blocking
 // database snapshotted to the present (every API documented blocking by
@@ -99,7 +104,7 @@ func NewRegistry() *Registry {
 		knownBlocking: map[string]bool{},
 	}
 	r.preload()
-	r.SnapshotYear(2017) // the paper's present day
+	r.SnapshotYear(ShippedYear)
 	return r
 }
 

@@ -41,6 +41,14 @@ func (b *Bug) RootCauseKey() string { return b.Op.LeafKey() }
 type InputEvent struct {
 	Name string
 	Ops  []*Op
+
+	// fullStacks[i] is the precomputed dispatch stack of Ops[i] under this
+	// event's action (leaf, wrapper chain, handler, framework), built once
+	// at Finalize; stacks are immutable and shared by every execution.
+	fullStacks []*stack.Stack
+	// segCap is the worst-case scheduler-segment count of one dispatch of
+	// this event, so Session.buildSegments can allocate exactly once.
+	segCap int
 }
 
 // Action is a user action: the unit Hang Doctor tracks state for. The App
@@ -58,6 +66,11 @@ type Action struct {
 	Events []*InputEvent
 	// Weight is the relative frequency in generated workloads (default 1).
 	Weight float64
+
+	// callerStack is the precomputed handler-plus-framework stack every
+	// execution of this action samples while in caller-level code; built
+	// once at Finalize.
+	callerStack *stack.Stack
 }
 
 // Ops returns all ops across the action's events, in execution order.
@@ -127,11 +140,20 @@ func (a *App) Finalize() error {
 		if len(act.Events) == 0 {
 			return fmt.Errorf("app %s: action %q has no events", a.Name, act.Name)
 		}
+		// Precompute everything a dispatch needs that depends only on static
+		// app data: the caller stack, each op's full stack under this
+		// action, each op's event-rate vectors, and the worst-case segment
+		// count per event. Sessions share these across all executions, so
+		// the per-dispatch hot path allocates nothing but the final program.
+		callerFrames := append([]stack.Frame{act.Handler}, frameworkFrames...)
+		act.callerStack = stack.New(callerFrames...)
 		for _, ev := range act.Events {
 			if len(ev.Ops) == 0 {
 				return fmt.Errorf("app %s: action %q event %q has no ops", a.Name, act.Name, ev.Name)
 			}
-			for _, op := range ev.Ops {
+			ev.fullStacks = make([]*stack.Stack, len(ev.Ops))
+			ev.segCap = 0
+			for i, op := range ev.Ops {
 				if op.Manifest == 0 {
 					op.Manifest = 1
 				}
@@ -140,6 +162,17 @@ func (a *App) Finalize() error {
 					op.Bug.Action = act
 					op.Bug.App = a
 				}
+				leafFrames := make([]stack.Frame, 0, len(op.Via)+1+len(callerFrames))
+				leafFrames = append(leafFrames, op.LeafFrame())
+				for v := len(op.Via) - 1; v >= 0; v-- {
+					leafFrames = append(leafFrames, op.Via[v].Frame())
+				}
+				ev.fullStacks[i] = stack.New(append(leafFrames, callerFrames...)...)
+				op.heavyRates = op.Heavy.rates()
+				if op.Light != nil {
+					op.lightRates = op.Light.rates()
+				}
+				ev.segCap += op.maxSegments()
 			}
 		}
 	}

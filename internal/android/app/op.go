@@ -134,6 +134,10 @@ func renderRates() cpu.Rates {
 	return m.rates()
 }
 
+// renderRatesV is the render profile derived once: it has no per-op knobs,
+// so every frame batch shares one vector.
+var renderRatesV = renderRates()
+
 // Cost archetype constructors. These encode the four bug signatures the
 // corpus needs (see DESIGN.md §4, Table 6) plus the UI profile.
 
@@ -256,6 +260,43 @@ type Op struct {
 	Manifest float64
 	// Bug links the op to its seeded-bug metadata; nil for benign ops.
 	Bug *Bug
+
+	// heavyRates / lightRates are the cost models' event-rate vectors,
+	// derived once at App.Finalize so dispatches stop recomputing the
+	// 40-slot HW vector per execution. lightRates is only meaningful when
+	// Light is non-nil (ops without a Light model share defaultLightRates).
+	heavyRates cpu.Rates
+	lightRates cpu.Rates
+}
+
+// segmentsFor returns the scheduler-segment count one dispatch of the op
+// needs under cost m: pre + post caller slices, the leaf portion (with its
+// block/compute interleaving), and the render post.
+func segmentsFor(m CostModel) int {
+	n := 2 // pre + post
+	if m.Blocks > 0 {
+		n += 1 + 2*m.Blocks
+	} else {
+		n++
+	}
+	if m.Frames > 0 && m.PerFrame > 0 {
+		n++
+	}
+	return n
+}
+
+// maxSegments bounds the segment count across the op's heavy and light
+// executions.
+func (o *Op) maxSegments() int {
+	n := segmentsFor(o.Heavy)
+	light := defaultLightCost()
+	if o.Light != nil {
+		light = *o.Light
+	}
+	if ln := segmentsFor(light); ln > n {
+		n = ln
+	}
+	return n
 }
 
 // LeafFrame returns the innermost frame this op puts on the stack.

@@ -253,6 +253,7 @@ func (s *Session) Perform(act *Action) *ActionExec {
 	for _, l := range s.listener {
 		l.ActionStart(exec)
 	}
+	exec.Events = make([]*EventExec, 0, len(act.Events))
 	for i, ie := range act.Events {
 		ev := &EventExec{Name: ie.Name, Index: i, Exec: exec}
 		exec.Events = append(exec.Events, ev)
@@ -292,14 +293,17 @@ func (s *Session) actionDone() bool {
 
 // buildSegments turns an input event's ops into the main-thread program,
 // drawing this execution's manifestation and jitter, and recording heavy
-// ops into exec.
+// ops into exec. Stacks and rate vectors were precomputed at Finalize; the
+// only allocation here is the program slice itself, sized once from the
+// event's worst case (it escapes into the posted looper message, so it
+// cannot be pooled).
 func (s *Session) buildSegments(act *Action, ie *InputEvent, exec *ActionExec) []cpu.Segment {
 	rich := s.Device.EnvRichness
 	if rich == 0 {
 		rich = 1
 	}
-	var segs []cpu.Segment
-	for _, op := range ie.Ops {
+	segs := make([]cpu.Segment, 0, ie.segCap)
+	for oi, op := range ie.Ops {
 		manifest := op.Manifest
 		if manifest < 1 {
 			// Environment-dependent ops manifest less often in a poorer
@@ -308,16 +312,19 @@ func (s *Session) buildSegments(act *Action, ie *InputEvent, exec *ActionExec) [
 		}
 		heavy := s.rng.Bool(manifest)
 		cost := op.Heavy
+		rates := &op.heavyRates
 		if !heavy {
 			if op.Light != nil {
 				cost = *op.Light
+				rates = &op.lightRates
 			} else {
 				cost = defaultLightCost()
+				rates = &defaultLightRates
 			}
 		}
 		f := s.rng.Jitter(1, cost.Jitter)
-		opSegs, mainDur := s.opSegments(act, op, cost, f)
-		segs = append(segs, opSegs...)
+		var mainDur simclock.Duration
+		segs, mainDur = s.opSegments(op, cost, rates, f, act.callerStack, ie.fullStacks[oi], segs)
 		if heavy {
 			exec.Heavy = append(exec.Heavy, HeavyOp{Op: op, Dur: mainDur})
 		}
@@ -332,6 +339,9 @@ func defaultLightCost() CostModel {
 		MinorFaultsPerSec: 500, InstructionsPerSec: 1.0e9}
 }
 
+// defaultLightRates is defaultLightCost's rate vector, derived once.
+var defaultLightRates = defaultLightCost().rates()
+
 // frameworkFrames are the constant outermost frames of any main-thread
 // dispatch stack.
 var frameworkFrames = []stack.Frame{
@@ -339,23 +349,13 @@ var frameworkFrames = []stack.Frame{
 	{Class: "android.os.Looper", Method: "loop", File: "Looper.java", Line: 193},
 }
 
-// opSegments builds the scheduler program for one op at the given cost and
-// jitter factor, returning the program and the planned main-thread duration.
-func (s *Session) opSegments(act *Action, op *Op, cost CostModel, f float64) ([]cpu.Segment, simclock.Duration) {
-	rates := cost.rates()
-
-	// callerStack: the handler running its own code around the leaf call.
-	callerFrames := append([]stack.Frame{act.Handler}, frameworkFrames...)
-	callerStack := stack.New(callerFrames...)
-
-	// fullStack: leaf API (or self code), wrapper chain, handler, framework.
-	var leafFrames []stack.Frame
-	leafFrames = append(leafFrames, op.LeafFrame())
-	for i := len(op.Via) - 1; i >= 0; i-- {
-		leafFrames = append(leafFrames, op.Via[i].Frame())
-	}
-	fullStack := stack.New(append(leafFrames, callerFrames...)...)
-
+// opSegments appends the scheduler program for one op at the given cost and
+// jitter factor onto segs, returning the extended program and the planned
+// main-thread duration. callerStack and fullStack are the action's and
+// op's precomputed immutable stacks; rates points at the matching
+// precomputed vector (segments copy it by value).
+func (s *Session) opSegments(op *Op, cost CostModel, rates *cpu.Rates, f float64,
+	callerStack, fullStack *stack.Stack, segs []cpu.Segment) ([]cpu.Segment, simclock.Duration) {
 	cpuTotal := simclock.Duration(float64(cost.CPU) * f)
 	pre := simclock.Duration(float64(cpuTotal) * cost.preShare() / 2)
 	post := pre
@@ -366,24 +366,23 @@ func (s *Session) opSegments(act *Action, op *Op, cost CostModel, f float64) ([]
 	blockEach := simclock.Duration(float64(cost.BlockEach) * f)
 	mainDur := cpuTotal + simclock.Duration(cost.Blocks)*blockEach
 
-	var segs []cpu.Segment
 	if pre > 0 {
-		segs = append(segs, cpu.Compute{Dur: pre, Rates: rates, Stack: callerStack})
+		segs = append(segs, cpu.Compute{Dur: pre, Rates: *rates, Stack: callerStack})
 	}
 	if cost.Blocks > 0 {
 		chunk := mid / simclock.Duration(cost.Blocks+1)
-		segs = append(segs, cpu.Compute{Dur: chunk, Rates: rates, Stack: fullStack})
+		segs = append(segs, cpu.Compute{Dur: chunk, Rates: *rates, Stack: fullStack})
 		for i := 0; i < cost.Blocks; i++ {
 			segs = append(segs,
 				cpu.Block{Dur: blockEach, Stack: fullStack},
-				cpu.Compute{Dur: chunk, Rates: rates, Stack: fullStack},
+				cpu.Compute{Dur: chunk, Rates: *rates, Stack: fullStack},
 			)
 		}
 	} else if mid > 0 {
-		segs = append(segs, cpu.Compute{Dur: mid, Rates: rates, Stack: fullStack})
+		segs = append(segs, cpu.Compute{Dur: mid, Rates: *rates, Stack: fullStack})
 	}
 	if post > 0 {
-		segs = append(segs, cpu.Compute{Dur: post, Rates: rates, Stack: callerStack})
+		segs = append(segs, cpu.Compute{Dur: post, Rates: *rates, Stack: callerStack})
 	}
 	if cost.Frames > 0 && cost.PerFrame > 0 {
 		// Render cost varies per execution independently of the main-thread
@@ -393,7 +392,7 @@ func (s *Session) opSegments(act *Action, op *Op, cost CostModel, f float64) ([]
 		batch := render.FrameBatch{
 			Frames:   cost.Frames,
 			PerFrame: simclock.Duration(float64(cost.PerFrame) * rf),
-			Rates:    renderRates(),
+			Rates:    renderRatesV,
 		}
 		segs = append(segs, cpu.Call{Fn: func() { s.Render.Post(batch) }})
 	}
@@ -422,7 +421,7 @@ func (s *Session) startInterference() {
 				cpu.Block{Dur: simclock.Duration(rng.Jitter(float64(gap), 0.4))},
 				cpu.Compute{
 					Dur:   simclock.Duration(rng.Jitter(float64(burst), 0.4)),
-					Rates: defaultLightCost().rates(),
+					Rates: defaultLightRates,
 				},
 			)
 		})

@@ -44,6 +44,14 @@ type Doctor struct {
 	transitions []StateTransition
 	detections  map[string]*Detection // keyed by actionUID + "\x00" + root
 
+	// condEvents is cfg.conditionEvents() computed once at construction; the
+	// S-Checker opens a perf session per action execution and the event list
+	// never changes after New.
+	condEvents []perf.Event
+	// valScratch backs sCheck's per-condition value vector between hangs; a
+	// copy is taken before anything retains it (adaptSet).
+	valScratch []int64
+
 	// Per-action-execution state.
 	perfSess    *perf.Session
 	earlyRead   *perf.Reading
@@ -72,6 +80,7 @@ func New(cfg Config) *Doctor {
 		report:     NewReport(),
 	}
 	d.wide.doctor = d
+	d.condEvents = d.cfg.conditionEvents()
 	return d
 }
 
@@ -184,7 +193,7 @@ func (d *Doctor) ActionStart(e *app.ActionExec) {
 	d.curRec = r
 	d.curExec = e
 	r.execs++
-	d.curTraces = nil
+	d.curTraces = d.curTraces[:0] // reuse the backing array across executions
 	d.curDropped = 0
 	d.openFailed = false
 	d.earlyRead = nil
@@ -227,7 +236,7 @@ func (d *Doctor) ActionStart(e *app.ActionExec) {
 func (d *Doctor) openPerf(r *actionRecord, e *app.ActionExec, attempt int) {
 	cfg := d.session.PerfConfig()
 	cfg.Faults = d.session.Faults()
-	sess, err := perf.TryOpen(d.session.Clk, d.monitoredThreads(), d.cfg.conditionEvents(), cfg)
+	sess, err := perf.TryOpen(d.session.Clk, d.monitoredThreads(), d.condEvents, cfg)
 	if err != nil {
 		// A failed perf_event_open still costs the syscall round trip.
 		d.log.AddCost(perf.CostOpenNs)
@@ -429,7 +438,15 @@ func (d *Doctor) sCheck(r *actionRecord, e *app.ActionExec, rt simclock.Duration
 	var fired []int
 	evaluated := 0
 	lowConf := degraded
-	values := make([]int64, len(d.cfg.Conditions))
+	// Reuse the scratch vector across hangs; zero it because multiplexed-away
+	// conditions skip their slot and must not read a stale value.
+	if cap(d.valScratch) < len(d.cfg.Conditions) {
+		d.valScratch = make([]int64, len(d.cfg.Conditions))
+	}
+	values := d.valScratch[:len(d.cfg.Conditions)]
+	for i := range values {
+		values[i] = 0
+	}
 	for i, cond := range d.cfg.Conditions {
 		var v int64
 		var ok bool
@@ -463,7 +480,7 @@ func (d *Doctor) sCheck(r *actionRecord, e *app.ActionExec, rt simclock.Duration
 		// Degraded readings are excluded: their values are not comparable
 		// with difference-mode thresholds and would skew adaptation.
 		d.adaptSet = append(d.adaptSet, LabeledReading{
-			ActionUID: r.uid, Values: values,
+			ActionUID: r.uid, Values: append([]int64(nil), values...),
 			IsBug: e.BugCaused(d.cfg.PerceivableDelay) != nil,
 		})
 	}
@@ -487,7 +504,9 @@ func (d *Doctor) sCheck(r *actionRecord, e *app.ActionExec, rt simclock.Duration
 func (d *Doctor) diagnose(r *actionRecord, e *app.ActionExec, rt simclock.Duration, hang bool) {
 	traces := d.curTraces
 	dropped := d.curDropped
-	d.curTraces = nil
+	// AnalyzeTraces copies what it keeps (frame values), so the slice backing
+	// can be reused by the next execution's sampler.
+	d.curTraces = traces[:0]
 	d.curDropped = 0
 	if !hang || len(traces) < d.cfg.MinTraces {
 		// The bug did not manifest this time (or the hang was too short to

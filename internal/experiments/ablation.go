@@ -4,6 +4,7 @@ import (
 	"hangdoctor/internal/core"
 	"hangdoctor/internal/corpus"
 	"hangdoctor/internal/detect"
+	"hangdoctor/internal/experiments/pool"
 	"hangdoctor/internal/perf"
 	"hangdoctor/internal/simclock"
 )
@@ -79,7 +80,11 @@ func RunAblations(ctx *Context) (*Ablation, error) {
 		},
 	}
 	apps := []string{"K9-Mail", "Omni-Notes"}
-	for _, v := range ablationVariants() {
+	// One unit per variant (each runs both apps on the same cached traces);
+	// rows merge in variant order.
+	variants := ablationVariants()
+	rows, err := pool.Map(ctx.Workers(), len(variants), func(i int) (AblationRow, error) {
+		v := variants[i]
 		row := AblationRow{Variant: v.Name}
 		var ovSum float64
 		for _, appName := range apps {
@@ -87,7 +92,7 @@ func RunAblations(ctx *Context) (*Ablation, error) {
 			d := core.New(v.Cfg)
 			h, err := detect.NewHarness(a, appDevice(), ctx.Seed, d)
 			if err != nil {
-				return nil, err
+				return AblationRow{}, err
 			}
 			h.Run(corpus.Trace(a, ctx.Seed, ctx.Scale.TracePerApp), ctx.Scale.Think)
 			ev := h.Evaluate(d)
@@ -97,7 +102,13 @@ func RunAblations(ctx *Context) (*Ablation, error) {
 			ovSum += h.Overhead(d).Avg()
 		}
 		row.Overhead = ovSum / float64(len(apps))
-		out.Rows[v.Name] = row
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, row := range rows {
+		out.Rows[row.Variant] = row
 		out.Table.Add(row.Variant, itoa(row.TP), itoa(row.FP), itoa(row.FN), f2(row.Overhead))
 	}
 	out.Table.Notes = append(out.Table.Notes,

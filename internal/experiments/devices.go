@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"hangdoctor/internal/android/app"
 	"hangdoctor/internal/core"
 	"hangdoctor/internal/corpus"
 	"hangdoctor/internal/detect"
+	"hangdoctor/internal/experiments/pool"
 )
 
 // newHarnessOn runs one app's standard trace on a specific device model.
@@ -55,7 +57,10 @@ func RunDeviceGenerality(ctx *Context) (*DeviceGenerality, error) {
 			Header: []string{"Device", "Cores", "PMU regs", "Bugs found", "of"},
 		},
 	}
-	// Validation apps = apps owning offline-missed bugs.
+	// Validation apps = apps owning offline-missed bugs, in sorted order:
+	// per-app seeds derive from the position in this list, so the order
+	// must be fixed (ranging over the set here used to make the run
+	// nondeterministic).
 	appSet := map[string]bool{}
 	totalBugs := 0
 	for _, b := range ctx.Corpus.Table5Bugs() {
@@ -64,27 +69,43 @@ func RunDeviceGenerality(ctx *Context) (*DeviceGenerality, error) {
 			totalBugs++
 		}
 	}
+	appNames := make([]string, 0, len(appSet))
+	for name := range appSet {
+		appNames = append(appNames, name)
+	}
+	sort.Strings(appNames)
+	devices := deviceRoster()
+	// One unit per (device, app) pair; each returns the validation bugs
+	// found, merged below per device in roster × sorted-app order.
+	nApps := len(appNames)
+	units, err := pool.Map(ctx.Workers(), len(devices)*nApps, func(k int) (map[string]bool, error) {
+		dev := devices[k/nApps]
+		i := k % nApps
+		a := ctx.Corpus.MustApp(appNames[i])
+		d := core.New(core.Config{})
+		// Same per-app trace and seed on every device: only the device
+		// model differs.
+		if _, err := newHarnessOn(ctx, a, dev, uint64(5000+(i+1)*7), d); err != nil {
+			return nil, err
+		}
+		found := map[string]bool{}
+		for id := range matchDetections(a, d.Detections()) {
+			if ctx.BaselineMissedOffline[id] {
+				found[id] = true
+			}
+		}
+		return found, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	union := map[string]bool{}
 	var intersection map[string]bool
-	for _, dev := range deviceRoster() {
+	for di, dev := range devices {
 		found := map[string]bool{}
-		i := 0
-		for appName := range appSet {
-			i++
-			a := ctx.Corpus.MustApp(appName)
-			d := core.New(core.Config{})
-			// Same per-app trace and seed on every device: only the device
-			// model differs.
-			h, err := newHarnessOn(ctx, a, dev, uint64(5000+i*7), d)
-			if err != nil {
-				return nil, err
-			}
-			_ = h
-			matched := matchDetections(a, d.Detections())
-			for id := range matched {
-				if ctx.BaselineMissedOffline[id] {
-					found[id] = true
-				}
+		for i := 0; i < nApps; i++ {
+			for id := range units[di*nApps+i] {
+				found[id] = true
 			}
 		}
 		out.FoundPerDevice[dev.Name] = found

@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/experiments/pool"
 	"hangdoctor/internal/simclock"
 )
 
@@ -56,6 +57,13 @@ type Context struct {
 	Seed   uint64
 	Scale  Scale
 
+	// Parallel is the worker count sweep-style experiments fan per-app work
+	// units out across: 0 means one worker per CPU (pool.DefaultWorkers), 1
+	// forces the serial path. Every unit derives its RNG from (seed, unit
+	// identity) and results merge in unit order, so rendered artifacts are
+	// byte-identical at any setting (DESIGN.md §8).
+	Parallel int
+
 	// BaselineMissedOffline is the set of bug IDs invisible to offline
 	// scanning before any feedback (the paper's MO column / validation set).
 	BaselineMissedOffline map[string]bool
@@ -63,15 +71,35 @@ type Context struct {
 	Training []TrainingItem
 }
 
-// NewContext builds a context over a fresh corpus.
+// NewContext builds a context over the shared memoized corpus. The corpus's
+// known-blocking database is reset to its shipped snapshot by
+// corpus.Shared, so the context starts from exactly the state a freshly
+// built corpus would give it.
 func NewContext(seed uint64, scale Scale) *Context {
-	c := &Context{Corpus: corpus.Build(), Seed: seed, Scale: scale,
+	return NewContextWith(corpus.Shared(), seed, scale)
+}
+
+// NewContextWith builds a context over an injected corpus. Tests and
+// benches that mutate corpus state beyond the known-blocking database pass
+// their own corpus.Build() here; everything else shares the memoized
+// corpus via NewContext. Baseline snapshots are taken from the corpus as
+// passed.
+func NewContextWith(c *corpus.Corpus, seed uint64, scale Scale) *Context {
+	ctx := &Context{Corpus: c, Seed: seed, Scale: scale,
 		BaselineMissedOffline: map[string]bool{}}
-	for _, b := range c.Corpus.MissedOfflineBugs() {
-		c.BaselineMissedOffline[b.ID] = true
+	for _, b := range c.MissedOfflineBugs() {
+		ctx.BaselineMissedOffline[b.ID] = true
 	}
-	c.Training = TrainingSet(c.Corpus)
-	return c
+	ctx.Training = TrainingSet(c)
+	return ctx
+}
+
+// Workers resolves the effective fan-out width for this context.
+func (c *Context) Workers() int {
+	if c.Parallel > 0 {
+		return c.Parallel
+	}
+	return pool.DefaultWorkers()
 }
 
 // TextTable renders aligned rows for terminal output.

@@ -6,6 +6,7 @@ import (
 	"hangdoctor/internal/core"
 	"hangdoctor/internal/corpus"
 	"hangdoctor/internal/detect"
+	"hangdoctor/internal/experiments/pool"
 )
 
 // Fig8Apps are the representative apps the paper plots in Figure 8.
@@ -71,7 +72,12 @@ func RunFig8(ctx *Context) (*Fig8, error) {
 			Header: []string{"App", "Detector", "TP", "FP", "TP/TI", "FP/TI", "Overhead%"},
 		},
 	}
-	for _, appName := range Fig8Apps {
+	// One work unit per representative app: calibration and all six
+	// detector runs for that app. Units share only the read-only trace
+	// cache; rows merge below in Fig8Apps × Fig8Detectors order, so the
+	// float averages accumulate exactly as in a serial run.
+	perApp, err := pool.Map(ctx.Workers(), len(Fig8Apps), func(i int) (map[string]Fig8Row, error) {
+		appName := Fig8Apps[i]
 		a := ctx.Corpus.MustApp(appName)
 		roster, err := fig8Detectors(ctx, appName)
 		if err != nil {
@@ -93,6 +99,12 @@ func RunFig8(ctx *Context) (*Fig8, error) {
 				Overhead: h.Overhead(det).Avg(),
 			}
 		}
+		return results, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, results := range perApp {
 		ti := results["TI"]
 		for _, name := range Fig8Detectors {
 			r := results[name]

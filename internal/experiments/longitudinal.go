@@ -7,6 +7,7 @@ import (
 	"hangdoctor/internal/android/app"
 	"hangdoctor/internal/core"
 	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/experiments/pool"
 	"hangdoctor/internal/simclock"
 	"hangdoctor/internal/simrand"
 )
@@ -93,32 +94,45 @@ func RunLongitudinal(ctx *Context) (*Longitudinal, error) {
 		richness[u] = r
 	}
 
-	for _, appName := range longitudinalApps {
+	// Flatten the fleet to one unit per (app, user) device-run. Each unit's
+	// trace and session are seeded by (ctx.Seed, user) and richness is
+	// precomputed above, so units are independent; per-bug day lists merge
+	// below in the exact order the serial nested loop produced them.
+	nApps := len(longitudinalApps)
+	units, err := pool.Map(ctx.Workers(), nApps*users, func(k int) (map[string]float64, error) {
+		appName := longitudinalApps[k/users]
+		u := k % users
 		a := ctx.Corpus.MustApp(appName)
-		for u := 0; u < users; u++ {
-			p := profiles[u%len(profiles)]
-			seed := ctx.Seed + uint64(9000+u*31)
-			trace := corpus.LongitudinalTrace(a, p, seed, LongitudinalDays)
-			dev := appDevice()
-			dev.EnvRichness = richness[u]
-			s, err := app.NewSession(a, dev, seed)
-			if err != nil {
-				return nil, err
+		p := profiles[u%len(profiles)]
+		seed := ctx.Seed + uint64(9000+u*31)
+		trace := corpus.LongitudinalTrace(a, p, seed, LongitudinalDays)
+		dev := appDevice()
+		dev.EnvRichness = richness[u]
+		s, err := app.NewSession(a, dev, seed)
+		if err != nil {
+			return nil, err
+		}
+		d := core.New(core.Config{})
+		d.Attach(s)
+		s.AddListener(d)
+		corpus.RunLongitudinal(s, trace)
+		days := map[string]float64{}
+		for id, det := range matchDetections(a, d.Detections()) {
+			days[id] = float64(det.FirstAt / simclock.Time(simclock.Day))
+		}
+		return days, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, days := range units {
+		for id, day := range days {
+			st, ok := stats[id]
+			if !ok {
+				st = &bugStat{}
+				stats[id] = st
 			}
-			d := core.New(core.Config{})
-			d.Attach(s)
-			s.AddListener(d)
-			corpus.RunLongitudinal(s, trace)
-			matched := matchDetections(a, d.Detections())
-			for id, det := range matched {
-				st, ok := stats[id]
-				if !ok {
-					st = &bugStat{}
-					stats[id] = st
-				}
-				st.deviceDays = append(st.deviceDays,
-					float64(det.FirstAt/simclock.Time(simclock.Day)))
-			}
+			st.deviceDays = append(st.deviceDays, day)
 		}
 	}
 

@@ -1,0 +1,86 @@
+// Package pool is the bounded worker pool behind the parallel experiment
+// engine. Sweep-style experiments fan per-app (or per-item) work units out
+// across a fixed number of goroutines and merge the results back in unit
+// order, so rendered artifacts are byte-identical to a serial run: every
+// unit derives its RNG from (seed, unit identity) and shares no mutable
+// state, and Map returns results indexed exactly as the inputs were.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the fan-out width used when a caller does not override
+// it: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Map runs fn(i) for every index in [0, n) on at most workers goroutines
+// and returns the n results in index order. workers <= 0 selects
+// DefaultWorkers(); workers == 1 (or n == 1) runs inline on the calling
+// goroutine — the true serial path, with no goroutine hand-off at all.
+//
+// On failure Map returns the error with the smallest unit index among the
+// units that ran; once any unit has failed, unstarted units are skipped.
+// Units already in flight always run to completion (fn sees no
+// cancellation), so fn must be safe to run even when a sibling failed.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	var (
+		next     atomic.Int64
+		failed   atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstIdx int = n
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || failed.Load() {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if i < firstIdx {
+						firstIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

@@ -1,0 +1,129 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 8, 100} {
+		got, err := Map(workers, 57, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != 57 {
+			t.Fatalf("workers=%d: got %d results, want 57", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: got[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	got, err := Map[int](4, 0, func(i int) (int, error) {
+		t.Fatal("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("Map(4, 0) = %v, %v; want nil, nil", got, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(workers, 64, func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		defer cur.Add(-1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent units, want <= %d", p, workers)
+	}
+}
+
+func TestMapSerialRunsInline(t *testing.T) {
+	// workers==1 must execute strictly in order on the calling goroutine.
+	var seen []int
+	_, err := Map(1, 10, func(i int) (int, error) {
+		seen = append(seen, i) // no locking: only safe if truly serial
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("serial order broken: seen=%v", seen)
+		}
+	}
+}
+
+func TestMapReturnsSmallestIndexError(t *testing.T) {
+	// Indexes 3 and 7 fail; the reported error must be index 3's when the
+	// run is serial, and the smallest *observed* failing index otherwise.
+	fail := func(i int) (int, error) {
+		if i == 3 || i == 7 {
+			return 0, fmt.Errorf("unit %d failed", i)
+		}
+		return i, nil
+	}
+	if _, err := Map(1, 10, fail); err == nil || err.Error() != "unit 3 failed" {
+		t.Fatalf("serial error = %v, want unit 3's", err)
+	}
+	if _, err := Map(4, 10, fail); err == nil {
+		t.Fatal("parallel run reported no error")
+	}
+}
+
+func TestMapSkipsAfterFailure(t *testing.T) {
+	var ran atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(2, 1000, func(i int) (int, error) {
+		ran.Add(1)
+		if i == 0 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := ran.Load(); n >= 1000 {
+		t.Fatalf("all %d units ran despite early failure", n)
+	}
+}
+
+func TestMapConcurrentWrites(t *testing.T) {
+	// Exercised under -race in CI: concurrent indexed writes to the shared
+	// result slice plus the shared map below must be race-free.
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	got, err := Map(8, 200, func(i int) (int, error) {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 200 || len(got) != 200 {
+		t.Fatalf("ran %d units, merged %d results, want 200/200", len(seen), len(got))
+	}
+}

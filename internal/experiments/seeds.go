@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"hangdoctor/internal/core"
+	"hangdoctor/internal/experiments/pool"
 )
 
 // SeedStat aggregates one metric across seeds.
@@ -60,23 +61,43 @@ func RunSeedRobustness(ctx *Context) (*SeedRobustness, error) {
 			Header: []string{"Seed", "recall", "FP/UI-hangs", "distinct bugs"},
 		},
 	}
+	// Flatten the sweep to one unit per (seed, probe app): each unit's
+	// harness is seeded by its own offset, so units are independent and the
+	// per-seed aggregation below runs over units in serial order.
+	type seedUnit struct {
+		tp, fn, fp, uiHangs int
+		bugs                map[string]bool
+	}
+	nApps := len(seedProbeApps)
+	units, err := pool.Map(ctx.Workers(), nSeeds*nApps, func(u int) (seedUnit, error) {
+		s, i := u/nApps, u%nApps
+		a := ctx.Corpus.MustApp(seedProbeApps[i])
+		d := core.New(core.Config{})
+		h, err := newHarnessOn(ctx, a, appDevice(), uint64(7000+s*97+i), d)
+		if err != nil {
+			return seedUnit{}, err
+		}
+		ev := h.Evaluate(d)
+		bugs := map[string]bool{}
+		for id := range matchDetections(a, d.Detections()) {
+			bugs[id] = true
+		}
+		return seedUnit{tp: ev.TP, fn: ev.FN, fp: ev.FP, uiHangs: ev.UIHangs, bugs: bugs}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	var recalls, fpShares, bugCounts []float64
 	for s := 0; s < nSeeds; s++ {
 		var tp, fn, fp, uiHangs int
 		bugs := map[string]bool{}
-		for i, appName := range seedProbeApps {
-			a := ctx.Corpus.MustApp(appName)
-			d := core.New(core.Config{})
-			h, err := newHarnessOn(ctx, a, appDevice(), uint64(7000+s*97+i), d)
-			if err != nil {
-				return nil, err
-			}
-			ev := h.Evaluate(d)
-			tp += ev.TP
-			fn += ev.FN
-			fp += ev.FP
-			uiHangs += ev.UIHangs
-			for id := range matchDetections(a, d.Detections()) {
+		for i := 0; i < nApps; i++ {
+			u := units[s*nApps+i]
+			tp += u.tp
+			fn += u.fn
+			fp += u.fp
+			uiHangs += u.uiHangs
+			for id := range u.bugs {
 				bugs[id] = true
 			}
 		}

@@ -5,6 +5,7 @@ import (
 
 	"hangdoctor/internal/corpus"
 	"hangdoctor/internal/detect"
+	"hangdoctor/internal/experiments/pool"
 	"hangdoctor/internal/simclock"
 )
 
@@ -85,26 +86,47 @@ func RunTable2(ctx *Context) (*Table2, error) {
 		out.TP[d.String()] = map[string]int{}
 		out.FP[d.String()] = map[string]int{}
 	}
-	for _, a := range ctx.Corpus.Motivation {
+	// One work unit per motivation app: each unit's harnesses are seeded by
+	// (ctx.Seed, app) alone, so units are order-independent and merge back
+	// in corpus order below.
+	type t2unit struct {
+		tp, fp []int
+		hangs  int
+	}
+	apps := ctx.Corpus.Motivation
+	units, err := pool.Map(ctx.Workers(), len(apps), func(i int) (t2unit, error) {
+		a := apps[i]
 		trace := corpus.Trace(a, ctx.Seed, ctx.Scale.TracePerApp)
-		row := []string{a.Name}
-		var fpCells []string
-		for _, d := range timeouts {
+		u := t2unit{tp: make([]int, len(timeouts)), fp: make([]int, len(timeouts))}
+		for k, d := range timeouts {
 			ti := detect.NewTimeout(d)
 			h, err := detect.NewHarness(a, appDevice(), ctx.Seed, ti)
 			if err != nil {
-				return nil, err
+				return t2unit{}, err
 			}
 			h.Run(trace, ctx.Scale.Think)
 			ev := h.Evaluate(ti)
-			out.TP[d.String()][a.Name] = ev.TP
-			out.FP[d.String()][a.Name] = ev.FP
+			u.tp[k], u.fp[k] = ev.TP, ev.FP
 			if d == 100*simclock.Millisecond {
-				out.Hangs += ev.GroundTruthHangs
+				u.hangs = ev.GroundTruthHangs
 			}
-			row = append(row, itoa(ev.TP))
-			fpCells = append(fpCells, itoa(ev.FP))
 		}
+		return u, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, a := range apps {
+		u := units[i]
+		row := []string{a.Name}
+		var fpCells []string
+		for k, d := range timeouts {
+			out.TP[d.String()][a.Name] = u.tp[k]
+			out.FP[d.String()][a.Name] = u.fp[k]
+			row = append(row, itoa(u.tp[k]))
+			fpCells = append(fpCells, itoa(u.fp[k]))
+		}
+		out.Hangs += u.hangs
 		out.Table.Add(append(row, fpCells...)...)
 	}
 	total := []string{"TOTAL"}

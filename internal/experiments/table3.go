@@ -35,7 +35,7 @@ func (t *Table3) Render() string { return t.Table.Render() }
 
 // RunTable3 collects training samples and ranks all 46 events both ways.
 func RunTable3(ctx *Context) (*Table3, error) {
-	set, err := CollectSamples(ctx.Corpus, ctx.Training, ctx.Scale.SamplesPerItem, ctx.Seed)
+	set, err := CollectSamples(ctx.Corpus, ctx.Training, ctx.Scale.SamplesPerItem, ctx.Seed, ctx.Workers())
 	if err != nil {
 		return nil, err
 	}

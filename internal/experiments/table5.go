@@ -2,14 +2,13 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
 	"sort"
-	"sync"
 
 	"hangdoctor/internal/android/app"
 	"hangdoctor/internal/core"
 	"hangdoctor/internal/corpus"
 	"hangdoctor/internal/detect"
+	"hangdoctor/internal/experiments/pool"
 )
 
 // matchDetections maps a doctor's detections onto ground-truth bugs of an
@@ -74,41 +73,30 @@ func RunTable5(ctx *Context) (*Table5, error) {
 		table5Set[a.Name] = true
 	}
 	// Each app runs in its own fully isolated session, so the corpus sweep
-	// parallelizes across a worker pool; the only shared mutable state is
-	// the known-blocking database, which is mutex-guarded. Per-app results
-	// are deterministic regardless of scheduling; aggregation order is fixed
-	// by the apps slice.
+	// fans out across the shared worker pool; the only shared mutable state
+	// is the known-blocking database, which is mutex-guarded and write-only
+	// during detection. Per-app results are deterministic regardless of
+	// scheduling; aggregation order is fixed by the apps slice.
 	type appResult struct {
 		matched    map[string]*core.Detection
 		falseApp   bool
 		detections int
 	}
-	results := make([]appResult, len(ctx.Corpus.Apps))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var firstErr error
-	var errOnce sync.Once
-	for i, a := range ctx.Corpus.Apps {
-		wg.Add(1)
-		go func(i int, a *app.App) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			d, _, err := RunHDOnApp(ctx, a, core.Config{}, uint64(i))
-			if err != nil {
-				errOnce.Do(func() { firstErr = err })
-				return
-			}
-			results[i] = appResult{
-				matched:    matchDetections(a, d.Detections()),
-				falseApp:   len(a.Bugs) == 0 && len(d.Detections()) > 0,
-				detections: len(d.Detections()),
-			}
-		}(i, a)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	apps := ctx.Corpus.Apps
+	results, err := pool.Map(ctx.Workers(), len(apps), func(i int) (appResult, error) {
+		a := apps[i]
+		d, _, err := RunHDOnApp(ctx, a, core.Config{}, uint64(i))
+		if err != nil {
+			return appResult{}, err
+		}
+		return appResult{
+			matched:    matchDetections(a, d.Detections()),
+			falseApp:   len(a.Bugs) == 0 && len(d.Detections()) > 0,
+			detections: len(d.Detections()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
 	type row struct {
@@ -192,11 +180,12 @@ func RunTable6(ctx *Context) (*Table6, error) {
 	}
 	sort.Strings(appOrder)
 	conds := core.DefaultConditions()
-	for i, name := range appOrder {
+	cells, err := pool.Map(ctx.Workers(), len(appOrder), func(i int) ([4]int, error) {
+		name := appOrder[i]
 		a := ctx.Corpus.MustApp(name)
 		d, _, err := RunHDOnApp(ctx, a, core.Config{}, 1000+uint64(i))
 		if err != nil {
-			return nil, err
+			return [4]int{}, err
 		}
 		matched := matchDetections(a, d.Detections())
 		var cell [4]int
@@ -212,6 +201,13 @@ func RunTable6(ctx *Context) (*Table6, error) {
 				}
 			}
 		}
+		return cell, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, name := range appOrder {
+		cell := cells[i]
 		out.PerApp[name] = cell
 		for k := range cell {
 			out.Total[k] += cell[k]

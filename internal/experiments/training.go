@@ -8,6 +8,7 @@ import (
 	"hangdoctor/internal/corpus"
 	"hangdoctor/internal/cpu"
 	"hangdoctor/internal/detect"
+	"hangdoctor/internal/experiments/pool"
 	"hangdoctor/internal/perf"
 	"hangdoctor/internal/simclock"
 )
@@ -87,17 +88,27 @@ func (s *SampleSet) Len() int { return len(s.Labels) }
 // CollectSamples runs each training item until perItem soft hangs of the
 // right cause have been observed (bounded tries), measuring all 46
 // performance events over each action window — the data collection behind
-// Tables 3 and 4 and Figure 4.
-func CollectSamples(c *corpus.Corpus, items []TrainingItem, perItem int, seed uint64) (*SampleSet, error) {
-	set := &SampleSet{
-		Diff:     map[string][]float64{},
-		MainOnly: map[string][]float64{},
-	}
+// Tables 3 and 4 and Figure 4. Items fan out across workers goroutines
+// (0 = one per CPU): each item's session is seeded by (seed, item app)
+// alone, and per-item sample vectors merge back in item order, so the
+// result is identical at any worker count.
+func CollectSamples(c *corpus.Corpus, items []TrainingItem, perItem int, seed uint64, workers int) (*SampleSet, error) {
 	events := perf.AllEvents()
-	for _, it := range items {
+	// diff[k]/mainOnly[k] are indexed like events; labels hold one entry
+	// per collected sample of this item.
+	type itemSamples struct {
+		diff, mainOnly [][]float64
+		labels         []float64
+	}
+	units, err := pool.Map(workers, len(items), func(i int) (itemSamples, error) {
+		it := items[i]
+		u := itemSamples{
+			diff:     make([][]float64, len(events)),
+			mainOnly: make([][]float64, len(events)),
+		}
 		s, err := app.NewSession(it.App, app.LGV10(), seed)
 		if err != nil {
-			return nil, err
+			return itemSamples{}, err
 		}
 		collected := 0
 		for try := 0; try < perItem*8 && collected < perItem; try++ {
@@ -116,20 +127,37 @@ func CollectSamples(c *corpus.Corpus, items []TrainingItem, perItem int, seed ui
 			} else if bug != nil {
 				continue
 			}
-			for _, e := range events {
-				set.Diff[e.Name()] = append(set.Diff[e.Name()], float64(reading.Diff(e)))
-				set.MainOnly[e.Name()] = append(set.MainOnly[e.Name()], float64(reading.Value(0, e)))
+			for k, e := range events {
+				u.diff[k] = append(u.diff[k], float64(reading.Diff(e)))
+				u.mainOnly[k] = append(u.mainOnly[k], float64(reading.Value(0, e)))
 			}
 			if it.IsBug() {
-				set.Labels = append(set.Labels, 1)
+				u.labels = append(u.labels, 1)
 			} else {
-				set.Labels = append(set.Labels, 0)
+				u.labels = append(u.labels, 0)
 			}
-			set.Items = append(set.Items, it.Label)
 			collected++
 		}
 		if collected == 0 {
-			return nil, fmt.Errorf("experiments: training item %s never produced a qualifying hang", it.Label)
+			return itemSamples{}, fmt.Errorf("experiments: training item %s never produced a qualifying hang", it.Label)
+		}
+		return u, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	set := &SampleSet{
+		Diff:     map[string][]float64{},
+		MainOnly: map[string][]float64{},
+	}
+	for i, u := range units {
+		for k, e := range events {
+			set.Diff[e.Name()] = append(set.Diff[e.Name()], u.diff[k]...)
+			set.MainOnly[e.Name()] = append(set.MainOnly[e.Name()], u.mainOnly[k]...)
+		}
+		set.Labels = append(set.Labels, u.labels...)
+		for range u.labels {
+			set.Items = append(set.Items, items[i].Label)
 		}
 	}
 	return set, nil
