@@ -50,14 +50,28 @@ type API struct {
 	// KnownBlockingSince is the year the method was first documented as
 	// blocking; 0 means it has never been documented blocking.
 	KnownBlockingSince int
+	// Sym is the API's symbol ID in its registry's symbol table, assigned
+	// at DefineAPI time. Frames produced by Frame carry it, so dispatch
+	// stacks are born pre-interned.
+	Sym stack.SymID
+
+	// key is the canonical identity, built once at DefineAPI so Key never
+	// concatenates on hot paths (offline scans walk every op's chain).
+	key string
 }
 
 // Key returns the canonical identity "class.method".
-func (a *API) Key() string { return a.Class.Name + "." + a.Method }
+func (a *API) Key() string {
+	if a.key != "" {
+		return a.key
+	}
+	// Hand-built API values (tests) fall back to concatenation.
+	return a.Class.Name + "." + a.Method
+}
 
 // Frame returns the stack frame a call to this API produces.
 func (a *API) Frame() stack.Frame {
-	return stack.Frame{Class: a.Class.Name, Method: a.Method, File: a.File, Line: a.Line}
+	return stack.Frame{Class: a.Class.Name, Method: a.Method, File: a.File, Line: a.Line, Sym: a.Sym}
 }
 
 // uiPackagePrefixes are package families whose classes are UI by
@@ -77,9 +91,22 @@ var uiPackagePrefixes = []string{
 // guarded by a mutex: it is the one piece of state concurrent evaluation
 // harnesses share (every app's Hang Doctor feeds it), while the class/API
 // tables are immutable once the corpus is built.
+//
+// Every registry owns a symbol table interning class.method keys to dense
+// IDs with attribute bits resolved at intern time (UI class, framework
+// plumbing) — the diagnosis pipeline runs entirely on those IDs. The
+// string-keyed paths (IsUIClass, IsKnownBlocking, API) remain the boundary
+// for external inputs: fleet imports, the offline detector, and tests that
+// build frames by hand.
 type Registry struct {
 	classes map[string]*Class
 	apis    map[string]*API
+	symtab  *stack.Symtab
+	// apisBySym is the dense ID-indexed view of apis; nil slots are symbols
+	// that are not registered APIs (handlers, self-developed code,
+	// framework frames). Like the maps above it is immutable once the
+	// corpus is built.
+	apisBySym []*API
 
 	mu sync.RWMutex
 	// knownBlocking is keyed by API key. It is the database offline tools
@@ -93,6 +120,14 @@ type Registry struct {
 // corpus.Shared resets the database back to it between contexts.
 const ShippedYear = 2017
 
+// IsFrameworkClass reports whether a class is main-loop plumbing that tops
+// every main-thread stack and can never be a root cause (the Trace
+// Analyzer's exclusion rule, §3.4.1).
+func IsFrameworkClass(cls string) bool {
+	return cls == "android.os.Handler" || cls == "android.os.Looper" ||
+		strings.HasPrefix(cls, "com.android.internal.os.")
+}
+
 // NewRegistry returns a registry preloaded with the standard platform
 // classes and the blocking APIs the paper names, with the known-blocking
 // database snapshotted to the present (every API documented blocking by
@@ -103,9 +138,46 @@ func NewRegistry() *Registry {
 		apis:          map[string]*API{},
 		knownBlocking: map[string]bool{},
 	}
+	r.symtab = stack.NewSymtab(func(class, _ string) stack.SymAttrs {
+		var a stack.SymAttrs
+		if r.IsUIClass(class) {
+			a |= stack.SymUI
+		}
+		if IsFrameworkClass(class) {
+			a |= stack.SymFramework
+		}
+		return a
+	})
 	r.preload()
 	r.SnapshotYear(ShippedYear)
 	return r
+}
+
+// Symtab returns the registry's symbol table.
+func (r *Registry) Symtab() *stack.Symtab { return r.symtab }
+
+// SymtabView returns a lock-free snapshot of the symbol table for
+// ID-indexed hot loops; see stack.Symtab.View.
+func (r *Registry) SymtabView() stack.View { return r.symtab.View() }
+
+// Intern returns the dense symbol ID for class.method, assigning one (with
+// attribute bits) on first sight. UI and framework attributes are resolved
+// against the class tables at intern time, so classes must be defined
+// before the first frame of that class is interned — corpus construction
+// guarantees this by building the registry before finalizing apps.
+func (r *Registry) Intern(class, method string) stack.SymID {
+	return r.symtab.Intern(class, method)
+}
+
+// SymOf returns the frame's symbol ID: the cached one when App.Finalize
+// already assigned it, interning the (Class, Method) identity otherwise.
+// The frame itself is not mutated — sampled stacks are shared and
+// immutable.
+func (r *Registry) SymOf(f stack.Frame) stack.SymID {
+	if f.Sym != stack.NoSym {
+		return f.Sym
+	}
+	return r.symtab.Intern(f.Class, f.Method)
 }
 
 // DefineClass registers (or returns the existing) class with the given
@@ -130,8 +202,37 @@ func (r *Registry) DefineAPI(class *Class, method, file string, line, knownSince
 		file = base + ".java"
 	}
 	a := &API{Class: class, Method: method, File: file, Line: line, KnownBlockingSince: knownSince}
-	r.apis[a.Key()] = a
+	a.Sym = r.symtab.Intern(class.Name, method)
+	a.key = r.symtab.Key(a.Sym)
+	r.apis[a.key] = a
+	for int(a.Sym) >= len(r.apisBySym) {
+		r.apisBySym = append(r.apisBySym, nil)
+	}
+	r.apisBySym[a.Sym] = a
 	return a
+}
+
+// APIBySym is the ID-indexed fast path of API: it resolves a diagnosed
+// symbol to its registered API, if any, without building a key string.
+func (r *Registry) APIBySym(id stack.SymID) (*API, bool) {
+	if int(id) >= len(r.apisBySym) || r.apisBySym[id] == nil {
+		return nil, false
+	}
+	return r.apisBySym[id], true
+}
+
+// IsUISym is the ID-indexed fast path of IsUIClass: the verdict was
+// resolved once when the symbol was interned.
+func (r *Registry) IsUISym(id stack.SymID) bool {
+	return r.symtab.Attrs(id)&stack.SymUI != 0
+}
+
+// IsKnownBlockingSym is the ID-indexed fast path of IsKnownBlocking. The
+// verdict is cached per symbol under the table's known-blocking epoch;
+// database mutations (AddKnownBlocking, SnapshotYear) start a new epoch and
+// stale entries lazily re-resolve through the string-keyed database.
+func (r *Registry) IsKnownBlockingSym(id stack.SymID) bool {
+	return r.symtab.KnownBlocking(id, r.IsKnownBlocking)
 }
 
 // Class looks up a class by fully qualified name.
@@ -169,14 +270,18 @@ func (r *Registry) IsKnownBlocking(key string) bool {
 }
 
 // AddKnownBlocking inserts key into the database (Hang Doctor's feedback to
-// offline tools, Figure 2a). It reports whether the entry was new.
+// offline tools, Figure 2a). It reports whether the entry was new. An
+// insert starts a new symbol-table epoch so cached per-symbol verdicts
+// re-resolve.
 func (r *Registry) AddKnownBlocking(key string) bool {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if r.knownBlocking[key] {
+		r.mu.Unlock()
 		return false
 	}
 	r.knownBlocking[key] = true
+	r.mu.Unlock()
+	r.symtab.InvalidateKnownBlocking()
 	return true
 }
 
@@ -194,16 +299,18 @@ func (r *Registry) KnownBlocking() []string {
 
 // SnapshotYear resets the known-blocking database to what an offline tool
 // shipped in the given year would contain: every registered API documented
-// blocking in or before that year.
+// blocking in or before that year. The reset starts a new symbol-table
+// epoch so cached per-symbol verdicts re-resolve.
 func (r *Registry) SnapshotYear(year int) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.knownBlocking = map[string]bool{}
 	for k, a := range r.apis {
 		if a.KnownBlockingSince != 0 && a.KnownBlockingSince <= year {
 			r.knownBlocking[k] = true
 		}
 	}
+	r.mu.Unlock()
+	r.symtab.InvalidateKnownBlocking()
 }
 
 // preload registers the platform classes and APIs the paper mentions.

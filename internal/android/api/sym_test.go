@@ -1,0 +1,119 @@
+package api
+
+import (
+	"testing"
+
+	"hangdoctor/internal/stack"
+)
+
+func TestInternAssignsAttrs(t *testing.T) {
+	r := NewRegistry()
+	ui := r.Intern("android.widget.TextView", "setText")
+	fw := r.Intern("android.os.Looper", "loop")
+	plain := r.Intern("org.htmlcleaner.HtmlCleaner", "clean")
+	v := r.SymtabView()
+	if v.Attrs(ui)&stack.SymUI == 0 || !r.IsUISym(ui) {
+		t.Fatal("UI attribute missing on interned UI symbol")
+	}
+	if v.Attrs(fw)&stack.SymFramework == 0 {
+		t.Fatal("framework attribute missing")
+	}
+	if v.Attrs(plain)&(stack.SymUI|stack.SymFramework) != 0 {
+		t.Fatal("plain symbol grew attributes")
+	}
+	// ID and string paths must agree.
+	if r.IsUISym(ui) != r.IsUIClass("android.widget.TextView") {
+		t.Fatal("IsUISym disagrees with IsUIClass")
+	}
+}
+
+func TestSymOfPrefersCachedID(t *testing.T) {
+	r := NewRegistry()
+	id := r.Intern("a.B", "m")
+	cached := stack.Frame{Class: "other.C", Method: "x", Sym: id}
+	if got := r.SymOf(cached); got != id {
+		t.Fatalf("SymOf ignored the cached ID: %d != %d", got, id)
+	}
+	// Uncached frames intern on the fly without mutating the frame.
+	f := stack.Frame{Class: "p.Q", Method: "r"}
+	got := r.SymOf(f)
+	if got == stack.NoSym {
+		t.Fatal("SymOf failed to intern")
+	}
+	if f.Sym != stack.NoSym {
+		t.Fatal("SymOf mutated its argument")
+	}
+	if again := r.SymOf(f); again != got {
+		t.Fatal("SymOf not stable")
+	}
+}
+
+func TestAPIBySym(t *testing.T) {
+	r := NewRegistry()
+	c := r.DefineClass("org.htmlcleaner.HtmlCleaner", false, "org.htmlcleaner", true)
+	a := r.DefineAPI(c, "clean", "", 25, 0)
+	if a.Sym == stack.NoSym {
+		t.Fatal("DefineAPI left Sym unassigned")
+	}
+	got, ok := r.APIBySym(a.Sym)
+	if !ok || got != a {
+		t.Fatalf("APIBySym = %v, %v", got, ok)
+	}
+	// A symbol that is not an API resolves to nothing.
+	plain := r.Intern("com.app.M", "helper")
+	if _, ok := r.APIBySym(plain); ok {
+		t.Fatal("non-API symbol resolved to an API")
+	}
+	if _, ok := r.APIBySym(stack.NoSym); ok {
+		t.Fatal("NoSym resolved to an API")
+	}
+	// The API's frame carries the cached symbol.
+	if f := a.Frame(); f.Sym != a.Sym {
+		t.Fatalf("Frame.Sym = %d, want %d", f.Sym, a.Sym)
+	}
+}
+
+func TestIsKnownBlockingSymTracksFeedback(t *testing.T) {
+	r := NewRegistry()
+	id := r.Intern("org.htmlcleaner.HtmlCleaner", "clean")
+	if r.IsKnownBlockingSym(id) {
+		t.Fatal("clean should start unknown")
+	}
+	// Read again so the epoch cache is warm, then mutate the database.
+	r.IsKnownBlockingSym(id)
+	r.AddKnownBlocking("org.htmlcleaner.HtmlCleaner.clean")
+	if !r.IsKnownBlockingSym(id) {
+		t.Fatal("stale cached verdict after AddKnownBlocking")
+	}
+	// Snapshot reset invalidates in the other direction.
+	r.SnapshotYear(2010)
+	if r.IsKnownBlockingSym(id) {
+		t.Fatal("feedback entry survived snapshot reset")
+	}
+	// ID path matches string path on a preloaded API too.
+	cam, ok := r.Symtab().LookupKey("android.hardware.Camera.open")
+	if !ok {
+		t.Fatal("preloaded API never interned")
+	}
+	r.SnapshotYear(ShippedYear)
+	if r.IsKnownBlockingSym(cam) != r.IsKnownBlocking("android.hardware.Camera.open") {
+		t.Fatal("ID and string known-blocking paths disagree")
+	}
+}
+
+func TestIsKnownBlockingSymZeroAllocWarm(t *testing.T) {
+	r := NewRegistry()
+	id, ok := r.Symtab().LookupKey("android.hardware.Camera.open")
+	if !ok {
+		t.Fatal("preloaded API never interned")
+	}
+	r.IsKnownBlockingSym(id) // warm the epoch cache
+	allocs := testing.AllocsPerRun(100, func() {
+		if !r.IsKnownBlockingSym(id) {
+			t.Fatal("verdict flipped")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm IsKnownBlockingSym allocates %.1f objects, want 0", allocs)
+	}
+}

@@ -73,6 +73,19 @@ type Action struct {
 	callerStack *stack.Stack
 }
 
+// CallerStack returns the action's precomputed handler-plus-framework stack
+// (what a sampler sees while the main thread runs caller-level code). It is
+// nil before App.Finalize. The stack is immutable and shared by every
+// execution — callers must not mutate it.
+func (a *Action) CallerStack() *stack.Stack { return a.callerStack }
+
+// DispatchStacks returns the event's precomputed full dispatch stacks,
+// DispatchStacks()[i] being the stack one dispatch of Ops[i] exposes (leaf,
+// wrapper chain, handler, framework). It is nil before App.Finalize. The
+// stacks are immutable and shared by every execution — callers must not
+// mutate them.
+func (ie *InputEvent) DispatchStacks() []*stack.Stack { return ie.fullStacks }
+
 // Ops returns all ops across the action's events, in execution order.
 func (a *Action) Ops() []*Op {
 	var out []*Op
@@ -147,6 +160,7 @@ func (a *App) Finalize() error {
 		// the per-dispatch hot path allocates nothing but the final program.
 		callerFrames := append([]stack.Frame{act.Handler}, frameworkFrames...)
 		act.callerStack = stack.New(callerFrames...)
+		internStack(a.Registry, act.callerStack)
 		for _, ev := range act.Events {
 			if len(ev.Ops) == 0 {
 				return fmt.Errorf("app %s: action %q event %q has no ops", a.Name, act.Name, ev.Name)
@@ -168,6 +182,7 @@ func (a *App) Finalize() error {
 					leafFrames = append(leafFrames, op.Via[v].Frame())
 				}
 				ev.fullStacks[i] = stack.New(append(leafFrames, callerFrames...)...)
+				internStack(a.Registry, ev.fullStacks[i])
 				op.heavyRates = op.Heavy.rates()
 				if op.Light != nil {
 					op.lightRates = op.Light.rates()
@@ -203,6 +218,20 @@ func (a *App) MustAction(name string) *Action {
 		panic(fmt.Sprintf("app %s: no action %q", a.Name, name))
 	}
 	return act
+}
+
+// internStack assigns every frame of a freshly built (still Finalize-owned)
+// stack its symbol ID in the app's registry, so sampled stacks carry dense
+// IDs and the diagnosis pipeline never touches frame strings. API frames
+// arrive pre-interned via api.API.Frame; handler, framework, and
+// self-developed frames are interned here.
+func internStack(reg *api.Registry, st *stack.Stack) {
+	for i := range st.Frames {
+		f := &st.Frames[i]
+		if f.Sym == stack.NoSym {
+			f.Sym = reg.Intern(f.Class, f.Method)
+		}
+	}
 }
 
 func sanitize(s string) string {

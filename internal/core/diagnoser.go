@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"strings"
 
 	"hangdoctor/internal/android/api"
@@ -12,6 +11,11 @@ import (
 type Diagnosis struct {
 	// RootCause is the class.method held responsible.
 	RootCause string
+	// Sym is RootCause's dense symbol ID in the app registry's symbol
+	// table, letting downstream consumers (detection recording, the
+	// feedback loop) resolve the cause without re-parsing the key. It is
+	// NoSym on diagnoses built outside the analyzer (fleet imports, tests).
+	Sym stack.SymID
 	// File/Line locate the root cause in source, as reported to the
 	// developer (Figure 6(b)).
 	File string
@@ -27,52 +31,152 @@ type Diagnosis struct {
 }
 
 // frameworkClass reports whether a class is main-loop plumbing that can
-// never be a root cause (it tops every main-thread stack).
-func frameworkClass(cls string) bool {
-	return cls == "android.os.Handler" || cls == "android.os.Looper" ||
-		strings.HasPrefix(cls, "com.android.internal.os.")
+// never be a root cause (it tops every main-thread stack). The ID-based
+// analyzer reads the same predicate from the symbol table's SymFramework
+// attribute bit, resolved once at intern time.
+func frameworkClass(cls string) bool { return api.IsFrameworkClass(cls) }
+
+// TraceAnalyzer is the allocation-free Trace Analyzer (§3.4.1): it computes
+// occurrence factors over dense per-symbol counters instead of string maps.
+// All scratch state is owned by the analyzer and reused across hangs — the
+// Doctor holds one per device — so analyzing a traced soft hang in steady
+// state performs zero allocations and zero string work: frames carry
+// pre-interned symbol IDs, per-symbol slots are claimed lazily via
+// generation marks (no O(symbols) clearing per hang), and verdict
+// tie-breaks are deterministic smallest-ID picks instead of a sorted key
+// walk.
+//
+// An analyzer is not safe for concurrent use; each Doctor (one goroutine)
+// owns its own.
+type TraceAnalyzer struct {
+	// gen stamps per-hang slot validity: a symbol's counters are live only
+	// while its mark equals the current generation, so starting a new hang
+	// is a single increment.
+	gen uint64
+	// traceGen stamps per-trace dedup (a symbol counts once per sampled
+	// stack no matter how often it recurs in the frames).
+	traceGen uint64
+
+	// Dense per-symbol scratch, indexed by stack.SymID.
+	leafMark    []uint64
+	leafCount   []int32
+	leafFrame   []stack.Frame // first-seen leaf frame (File/Line source)
+	callerMark  []uint64
+	callerCount []int32
+	callerDepth []int32       // cumulative frame index: closest-to-leaf tie-break
+	callerFrame []stack.Frame // first-seen caller frame
+	seenMark    []uint64
+
+	// Touched symbol lists bound the verdict scan to symbols this hang
+	// actually saw.
+	leafTouched   []stack.SymID
+	callerTouched []stack.SymID
 }
 
-// AnalyzeTraces implements the Trace Analyzer (§3.4.1): compute the
-// occurrence factor of the most frequent leaf operation across the sampled
-// stacks; if it is high, that operation is the root cause; otherwise the
-// hang is many light operations driven by one caller, and the most common
-// non-framework caller function with a high occurrence factor is reported
-// instead. UI-class root causes are flagged so the Diagnoser can transition
-// the action to Normal. The boolean result is false when no usable samples
-// were collected.
-func AnalyzeTraces(traces []*stack.Stack, reg *api.Registry, occHigh float64) (Diagnosis, bool) {
-	type info struct {
-		count int
-		frame stack.Frame
-		depth int // cumulative frame index, for closest-to-leaf tie-breaks
+// grow extends every per-symbol array to cover n symbol IDs, preserving
+// live marks (growth can happen mid-hang when a foreign frame interns a new
+// symbol).
+func (ta *TraceAnalyzer) grow(n int) {
+	if n <= len(ta.leafMark) {
+		return
 	}
-	leaf := map[string]*info{}
-	caller := map[string]*info{}
+	// Grow geometrically so repeated single-symbol interning stays
+	// amortized.
+	if c := 2 * len(ta.leafMark); n < c {
+		n = c
+	}
+	grow64 := func(s []uint64) []uint64 {
+		g := make([]uint64, n)
+		copy(g, s)
+		return g
+	}
+	grow32 := func(s []int32) []int32 {
+		g := make([]int32, n)
+		copy(g, s)
+		return g
+	}
+	growF := func(s []stack.Frame) []stack.Frame {
+		g := make([]stack.Frame, n)
+		copy(g, s)
+		return g
+	}
+	ta.leafMark = grow64(ta.leafMark)
+	ta.leafCount = grow32(ta.leafCount)
+	ta.leafFrame = growF(ta.leafFrame)
+	ta.callerMark = grow64(ta.callerMark)
+	ta.callerCount = grow32(ta.callerCount)
+	ta.callerDepth = grow32(ta.callerDepth)
+	ta.callerFrame = growF(ta.callerFrame)
+	ta.seenMark = grow64(ta.seenMark)
+}
+
+// sym returns the frame's symbol ID, interning externally built frames on
+// the fly and keeping the scratch arrays and view in range. Corpus frames
+// carry cached IDs, so the steady-state cost is the nil check.
+func (ta *TraceAnalyzer) sym(f *stack.Frame, reg *api.Registry, view *stack.View) stack.SymID {
+	id := f.Sym
+	if id == stack.NoSym {
+		id = reg.SymOf(*f)
+	}
+	if int(id) >= len(ta.leafMark) {
+		ta.grow(int(id) + 1)
+	}
+	if int(id) >= view.Len() {
+		*view = reg.SymtabView()
+	}
+	return id
+}
+
+// Analyze implements the Trace Analyzer (§3.4.1): compute the occurrence
+// factor of the most frequent leaf operation across the sampled stacks; if
+// it is high, that operation is the root cause; otherwise the hang is many
+// light operations driven by one caller, and the most common non-framework
+// caller function with a high occurrence factor is reported instead.
+// UI-class root causes are flagged so the Diagnoser can transition the
+// action to Normal. The boolean result is false when no usable samples were
+// collected.
+func (ta *TraceAnalyzer) Analyze(traces []*stack.Stack, reg *api.Registry, occHigh float64) (Diagnosis, bool) {
+	view := reg.SymtabView()
+	ta.grow(view.Len())
+	ta.gen++
+	ta.leafTouched = ta.leafTouched[:0]
+	ta.callerTouched = ta.callerTouched[:0]
+
 	total := 0
 	for _, tr := range traces {
 		if tr.Depth() == 0 {
 			continue
 		}
 		total++
-		lf := tr.Leaf()
-		if li := leaf[lf.Key()]; li != nil {
-			li.count++
+		ta.traceGen++
+		frames := tr.Frames
+		lf := &frames[0]
+		lid := ta.sym(lf, reg, &view)
+		if ta.leafMark[lid] != ta.gen {
+			ta.leafMark[lid] = ta.gen
+			ta.leafCount[lid] = 1
+			ta.leafFrame[lid] = *lf
+			ta.leafTouched = append(ta.leafTouched, lid)
 		} else {
-			leaf[lf.Key()] = &info{count: 1, frame: lf}
+			ta.leafCount[lid]++
 		}
-		seen := map[string]bool{lf.Key(): true}
-		for i := 1; i < len(tr.Frames); i++ {
-			f := tr.Frames[i]
-			if frameworkClass(f.Class) || seen[f.Key()] {
+		ta.seenMark[lid] = ta.traceGen
+		for i := 1; i < len(frames); i++ {
+			f := &frames[i]
+			id := ta.sym(f, reg, &view)
+			if view.Attrs(id)&stack.SymFramework != 0 || ta.seenMark[id] == ta.traceGen {
 				continue
 			}
-			seen[f.Key()] = true
-			if ci := caller[f.Key()]; ci != nil {
-				ci.count++
-				ci.depth += i
+			ta.seenMark[id] = ta.traceGen
+			if ta.callerMark[id] != ta.gen {
+				ta.callerMark[id] = ta.gen
+				ta.callerCount[id] = 1
+				ta.callerDepth[id] = int32(i)
+				ta.callerFrame[id] = *f
+				ta.callerTouched = append(ta.callerTouched, id)
 			} else {
-				caller[f.Key()] = &info{count: 1, frame: f, depth: i}
+				ta.callerCount[id]++
+				ta.callerDepth[id] += int32(i)
 			}
 		}
 	}
@@ -80,46 +184,56 @@ func AnalyzeTraces(traces []*stack.Stack, reg *api.Registry, occHigh float64) (D
 		return Diagnosis{}, false
 	}
 
-	pick := func(m map[string]*info) (string, *info) {
-		var bestKey string
-		var best *info
-		keys := make([]string, 0, len(m))
-		for k := range m {
-			keys = append(keys, k)
+	// Leaf verdict: highest count; ties break to the smallest symbol ID
+	// (deterministic because intern order is deterministic per registry).
+	leafID := ta.leafTouched[0]
+	for _, id := range ta.leafTouched[1:] {
+		c, bc := ta.leafCount[id], ta.leafCount[leafID]
+		if c > bc || (c == bc && id < leafID) {
+			leafID = id
 		}
-		sort.Strings(keys)
-		for _, k := range keys {
-			i := m[k]
-			if best == nil || i.count > best.count ||
-				(i.count == best.count && i.depth < best.depth) {
-				best, bestKey = i, k
+	}
+	lf := &ta.leafFrame[leafID]
+	d := Diagnosis{
+		RootCause:  view.Key(leafID),
+		Sym:        leafID,
+		File:       lf.File,
+		Line:       lf.Line,
+		Occurrence: float64(ta.leafCount[leafID]) / float64(total),
+	}
+	if d.Occurrence < occHigh && len(ta.callerTouched) > 0 {
+		// Caller verdict: highest count, closest to the leaf (smallest
+		// cumulative depth), then smallest symbol ID.
+		callerID := ta.callerTouched[0]
+		for _, id := range ta.callerTouched[1:] {
+			c, bc := ta.callerCount[id], ta.callerCount[callerID]
+			dep, bdep := ta.callerDepth[id], ta.callerDepth[callerID]
+			if c > bc || (c == bc && (dep < bdep || (dep == bdep && id < callerID))) {
+				callerID = id
 			}
 		}
-		return bestKey, best
-	}
-
-	leafKey, leafInfo := pick(leaf)
-	d := Diagnosis{
-		RootCause:  leafKey,
-		File:       leafInfo.frame.File,
-		Line:       leafInfo.frame.Line,
-		Occurrence: float64(leafInfo.count) / float64(total),
-	}
-	if d.Occurrence < occHigh && len(caller) > 0 {
-		callerKey, callerInfo := pick(caller)
-		callerOcc := float64(callerInfo.count) / float64(total)
-		if callerOcc >= occHigh {
+		if callerOcc := float64(ta.callerCount[callerID]) / float64(total); callerOcc >= occHigh {
+			cf := &ta.callerFrame[callerID]
 			d = Diagnosis{
-				RootCause:  callerKey,
-				File:       callerInfo.frame.File,
-				Line:       callerInfo.frame.Line,
+				RootCause:  view.Key(callerID),
+				Sym:        callerID,
+				File:       cf.File,
+				Line:       cf.Line,
 				Occurrence: callerOcc,
 				ViaCaller:  true,
 			}
 		}
 	}
-	d.IsUI = reg.IsUIClass(classOf(d.RootCause))
+	d.IsUI = view.Attrs(d.Sym)&stack.SymUI != 0
 	return d, true
+}
+
+// AnalyzeTraces runs the Trace Analyzer with throwaway scratch buffers. It
+// is the convenience entry point for one-shot callers (tests, examples);
+// the Doctor's hot path reuses its own TraceAnalyzer across hangs instead.
+func AnalyzeTraces(traces []*stack.Stack, reg *api.Registry, occHigh float64) (Diagnosis, bool) {
+	var ta TraceAnalyzer
+	return ta.Analyze(traces, reg, occHigh)
 }
 
 // classOf splits a class.method key back into its class part.

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"hangdoctor/internal/android/api"
+	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/simrand"
+	"hangdoctor/internal/stack"
+)
+
+// diagEqual compares two Diagnoses field by field; Sym is included so the
+// differential test also pins down which interned symbol each side blamed.
+func diagEqual(a, b Diagnosis) bool {
+	return a.RootCause == b.RootCause && a.Sym == b.Sym &&
+		a.File == b.File && a.Line == b.Line &&
+		a.Occurrence == b.Occurrence && a.IsUI == b.IsUI &&
+		a.ViaCaller == b.ViaCaller
+}
+
+// TestAnalyzeTracesDifferential runs the ID-based TraceAnalyzer and the
+// retained string-map reference implementation over randomized
+// corpus-derived trace sets and asserts bit-identical Diagnosis output. The
+// analyzer is reused across cases (the Doctor's steady-state shape) so any
+// stale-scratch bug between hangs shows up as a divergence.
+func TestAnalyzeTracesDifferential(t *testing.T) {
+	c := corpus.Shared()
+	rng := simrand.New(97).Derive("diff")
+	var ta TraceAnalyzer
+	cases := 0
+	for _, a := range c.Apps {
+		for trial := 0; trial < 3; trial++ {
+			seed := uint64(rng.Intn(1 << 30))
+			n := 4 + rng.Intn(120)
+			traces := corpus.SampledTraces(a, seed, n)
+			if len(traces) == 0 {
+				continue
+			}
+			for _, occHigh := range []float64{0.3, 0.5, 0.9} {
+				got, gotOK := ta.Analyze(traces, c.Registry, occHigh)
+				want, wantOK := analyzeTracesReference(traces, c.Registry, occHigh)
+				if gotOK != wantOK || !diagEqual(got, want) {
+					t.Fatalf("%s seed=%d n=%d occHigh=%v:\n  new = %+v (ok=%v)\n  ref = %+v (ok=%v)",
+						a.Name, seed, n, occHigh, got, gotOK, want, wantOK)
+				}
+				cases++
+			}
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d differential cases ran", cases)
+	}
+}
+
+// TestAnalyzeTracesDifferentialTies builds trace sets with exact count (and
+// depth) ties and checks both implementations resolve them identically — to
+// the smallest symbol ID — instead of depending on map iteration order.
+func TestAnalyzeTracesDifferentialTies(t *testing.T) {
+	reg := api.NewRegistry()
+	mk := func(keys ...string) *stack.Stack { return frames(keys...) }
+
+	fixtures := []struct {
+		name   string
+		traces []*stack.Stack
+	}{
+		{
+			// Two leaves, identical counts: smallest interned ID wins.
+			name: "leaf-count-tie",
+			traces: []*stack.Stack{
+				mk("p.A.x", "app.M.on", "android.os.Looper.loop"),
+				mk("p.B.y", "app.M.on", "android.os.Looper.loop"),
+				mk("p.A.x", "app.M.on", "android.os.Looper.loop"),
+				mk("p.B.y", "app.M.on", "android.os.Looper.loop"),
+			},
+		},
+		{
+			// Two candidate callers with equal counts and equal cumulative
+			// depth: the smallest-ID rule is the only thing separating them.
+			name: "caller-count-and-depth-tie",
+			traces: []*stack.Stack{
+				mk("l.L1.a", "c.C1.f", "c.C2.g", "android.os.Looper.loop"),
+				mk("l.L2.b", "c.C2.g", "c.C1.f", "android.os.Looper.loop"),
+				mk("l.L3.c", "c.C1.f", "c.C2.g", "android.os.Looper.loop"),
+				mk("l.L4.d", "c.C2.g", "c.C1.f", "android.os.Looper.loop"),
+			},
+		},
+		{
+			// Caller count tie broken by depth before ID: the closer caller
+			// must win even though it interned later (larger ID).
+			name: "caller-depth-breaks-tie",
+			traces: []*stack.Stack{
+				mk("l.L1.a", "z.Far.f", "android.os.Looper.loop"),
+				mk("l.L2.b", "a.Near.g", "z.Far.f", "android.os.Looper.loop"),
+				mk("l.L3.c", "a.Near.g", "android.os.Looper.loop"),
+				mk("l.L4.d", "a.Near.g", "z.Far.f", "android.os.Looper.loop"),
+			},
+		},
+	}
+
+	var ta TraceAnalyzer
+	for _, fx := range fixtures {
+		got, gotOK := ta.Analyze(fx.traces, reg, 0.5)
+		want, wantOK := analyzeTracesReference(fx.traces, reg, 0.5)
+		if gotOK != wantOK || !diagEqual(got, want) {
+			t.Errorf("%s:\n  new = %+v (ok=%v)\n  ref = %+v (ok=%v)",
+				fx.name, got, gotOK, want, wantOK)
+		}
+		// Re-running the same fixture must be stable (no map-order effects).
+		again, _ := ta.Analyze(fx.traces, reg, 0.5)
+		if !diagEqual(got, again) {
+			t.Errorf("%s: unstable across runs: %+v vs %+v", fx.name, got, again)
+		}
+	}
+}

@@ -11,6 +11,14 @@ import (
 	"hangdoctor/internal/stack"
 )
 
+// detectionKey identifies a detection-table row: one root cause under one
+// action. A comparable struct key, so lookups neither build a concatenated
+// string per diagnosis nor rely on a separator byte never appearing in UIDs.
+type detectionKey struct {
+	actionUID string
+	rootCause string
+}
+
 // Detection is one confirmed soft hang bug diagnosis, the unit of the
 // paper's Tables 5 and 6: where it is, what S-Checker symptoms led to it,
 // and how often it has been seen.
@@ -42,7 +50,12 @@ type Doctor struct {
 
 	states      map[string]*actionRecord
 	transitions []StateTransition
-	detections  map[string]*Detection // keyed by actionUID + "\x00" + root
+	detections  map[detectionKey]*Detection
+
+	// analyzer is the Doctor's Trace Analyzer with its reusable dense
+	// scratch; the Diagnoser and the wide collector share it (both run on
+	// the Doctor's listener callbacks, never concurrently).
+	analyzer TraceAnalyzer
 
 	// condEvents is cfg.conditionEvents() computed once at construction; the
 	// S-Checker opens a perf session per action execution and the event list
@@ -76,7 +89,7 @@ func New(cfg Config) *Doctor {
 	d := &Doctor{
 		cfg:        cfg.withDefaults(),
 		states:     map[string]*actionRecord{},
-		detections: map[string]*Detection{},
+		detections: map[detectionKey]*Detection{},
 		report:     NewReport(),
 	}
 	d.wide.doctor = d
@@ -520,7 +533,7 @@ func (d *Doctor) diagnose(r *actionRecord, e *app.ActionExec, rt simclock.Durati
 		}
 		return
 	}
-	diag, ok := AnalyzeTraces(traces, d.session.App.Registry, d.cfg.OccurrenceHigh)
+	diag, ok := d.analyzer.Analyze(traces, d.session.App.Registry, d.cfg.OccurrenceHigh)
 	if !ok {
 		return
 	}
@@ -559,7 +572,7 @@ func (d *Doctor) diagnose(r *actionRecord, e *app.ActionExec, rt simclock.Durati
 // recordDetection updates the detection table, the Hang Bug Report, and the
 // known-blocking database.
 func (d *Doctor) recordDetection(r *actionRecord, e *app.ActionExec, rt simclock.Duration, diag Diagnosis) {
-	key := r.uid + "\x00" + diag.RootCause
+	key := detectionKey{actionUID: r.uid, rootCause: diag.RootCause}
 	det, ok := d.detections[key]
 	if !ok {
 		det = &Detection{
@@ -582,8 +595,9 @@ func (d *Doctor) recordDetection(r *actionRecord, e *app.ActionExec, rt simclock
 	d.report.Add(d.session.App.Name, d.deviceLabel, r.uid, diag, rt)
 	// Feedback loop: a diagnosed blocking *API* extends the offline tools'
 	// database; self-developed operations are only reported to the
-	// developer (§3.1).
-	if _, isAPI := d.session.App.Registry.API(diag.RootCause); isAPI {
-		d.session.App.Registry.AddKnownBlocking(diag.RootCause)
+	// developer (§3.1). The diagnosis carries the root cause's symbol ID,
+	// so the API lookup is a dense index instead of a map probe.
+	if a, isAPI := d.session.App.Registry.APIBySym(diag.Sym); isAPI {
+		d.session.App.Registry.AddKnownBlocking(a.Key())
 	}
 }

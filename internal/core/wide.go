@@ -99,7 +99,7 @@ func (w *wideCollector) onActionEnd(rt simclock.Duration, hang bool) {
 	if !hang || len(traces) < d.cfg.MinTraces {
 		return
 	}
-	diag, ok := AnalyzeTraces(traces, d.session.App.Registry, d.cfg.OccurrenceHigh)
+	diag, ok := d.analyzer.Analyze(traces, d.session.App.Registry, d.cfg.OccurrenceHigh)
 	if !ok {
 		return
 	}

@@ -1,0 +1,51 @@
+package corpus
+
+import (
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/simrand"
+	"hangdoctor/internal/stack"
+)
+
+// DispatchStacks returns every distinct precomputed stack a sampler can
+// observe while the app executes: each action's caller stack plus each op's
+// full dispatch stack. The app must be finalized. The returned stacks are
+// the same immutable values Session dispatches sample, so frames carry the
+// symbol IDs App.Finalize assigned.
+func DispatchStacks(a *app.App) []*stack.Stack {
+	var out []*stack.Stack
+	for _, act := range a.Actions {
+		if cs := act.CallerStack(); cs != nil {
+			out = append(out, cs)
+		}
+		for _, ev := range act.Events {
+			out = append(out, ev.DispatchStacks()...)
+		}
+	}
+	return out
+}
+
+// SampledTraces synthesizes the stack set the Trace Collector would gather
+// during one soft hang of app a: n samples drawn from the app's precomputed
+// dispatch and caller stacks, with a deterministic seed-driven mix. A
+// fraction of the samples are truncated partial dumps (outer frames lost),
+// exercising caller-poor stacks the way a loaded device does. Diagnoser
+// tests and benchmarks use this to get corpus-shaped traces without running
+// a session.
+func SampledTraces(a *app.App, seed uint64, n int) []*stack.Stack {
+	pool := DispatchStacks(a)
+	if len(pool) == 0 {
+		return nil
+	}
+	rng := simrand.New(seed).Derive("sampled/" + a.Name)
+	out := make([]*stack.Stack, 0, n)
+	for i := 0; i < n; i++ {
+		st := pool[rng.Intn(len(pool))]
+		if rng.Bool(0.15) {
+			// Partial dump: keep a random leaf-side prefix (at least one
+			// frame), as fault-injected truncation would.
+			st = st.Truncate(1 + rng.Intn(st.Depth()))
+		}
+		out = append(out, st)
+	}
+	return out
+}

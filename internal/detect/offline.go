@@ -29,6 +29,11 @@ func OfflineScan(a *app.App, reg *api.Registry) []OfflineFinding {
 	for _, act := range a.Actions {
 		for _, op := range act.Ops() {
 			for _, vis := range op.VisibleAPIs() {
+				// Deliberately the string path: offline scanning models an
+				// external static tool reading source, so it queries the
+				// registry by class.method key rather than by interned symbol
+				// ID. The ID fast paths are reserved for the runtime hot
+				// loops that own pre-interned frames.
 				if reg.IsKnownBlocking(vis.Key()) {
 					out = append(out, OfflineFinding{Action: act, Op: op, API: vis})
 					break

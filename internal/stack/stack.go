@@ -18,6 +18,14 @@ type Frame struct {
 	Method string // method name, e.g. "clean"
 	File   string // source file, e.g. "HtmlCleaner.java"
 	Line   int
+
+	// Sym caches the frame's symbol ID in its registry's Symtab; NoSym (0)
+	// means unassigned. App.Finalize assigns it when precomputing dispatch
+	// stacks, so every sampled stack carries IDs for free and the Diagnoser
+	// counts occurrences without touching strings. It is a cache of the
+	// (Class, Method) identity only — externally built frames may leave it
+	// zero and consumers intern on the fly.
+	Sym SymID
 }
 
 // String renders the frame in Android stack-trace format.
@@ -68,13 +76,23 @@ func (s *Stack) Depth() int {
 	return len(s.Frames)
 }
 
+// matchesKey reports whether f's class.method equals key without building
+// the concatenation: key must be f.Class, a '.', then f.Method.
+func (f *Frame) matchesKey(key string) bool {
+	nc, nm := len(f.Class), len(f.Method)
+	if len(key) != nc+1+nm || key[nc] != '.' {
+		return false
+	}
+	return key[:nc] == f.Class && key[nc+1:] == f.Method
+}
+
 // Contains reports whether any frame has the given key (class.method).
 func (s *Stack) Contains(key string) bool {
 	if s == nil {
 		return false
 	}
-	for _, f := range s.Frames {
-		if f.Key() == key {
+	for i := range s.Frames {
+		if s.Frames[i].matchesKey(key) {
 			return true
 		}
 	}
@@ -87,8 +105,8 @@ func (s *Stack) CallerOf(key string) (Frame, bool) {
 	if s == nil {
 		return Frame{}, false
 	}
-	for i, f := range s.Frames {
-		if f.Key() == key && i+1 < len(s.Frames) {
+	for i := range s.Frames {
+		if s.Frames[i].matchesKey(key) && i+1 < len(s.Frames) {
 			return s.Frames[i+1], true
 		}
 	}

@@ -1,0 +1,264 @@
+package stack
+
+import "sync"
+
+// SymID is a dense identifier for a class.method frame key. IDs are assigned
+// by a Symtab in intern order starting at 1; NoSym (0) means "no symbol
+// assigned" and is what zero-valued frames carry. Dense IDs let hot loops
+// (the Trace Analyzer's occurrence counting, the registry's attribute
+// queries) replace string maps with array indexing.
+type SymID uint32
+
+// NoSym is the zero SymID: no symbol interned/assigned.
+const NoSym SymID = 0
+
+// SymAttrs is the attribute bit set of a symbol, resolved once at intern
+// time by the table's owner (api.Registry for the Android model).
+type SymAttrs uint32
+
+const (
+	// SymUI marks symbols whose class is UI code (View, Widget, ... —
+	// legitimate main-thread work, never a soft hang bug).
+	SymUI SymAttrs = 1 << iota
+	// SymFramework marks main-loop plumbing frames (Handler.dispatchMessage,
+	// Looper.loop) that top every main-thread stack and can never be a root
+	// cause.
+	SymFramework
+	// SymKnownBlocking marks symbols currently in the known-blocking
+	// database. Unlike the other bits it is mutable at runtime (Hang
+	// Doctor's feedback loop extends the database), so it is cached per
+	// symbol under an epoch counter and re-resolved lazily after each
+	// database change; read it through KnownBlocking, never through Attrs.
+	SymKnownBlocking
+)
+
+// AttrResolver computes the static attribute bits (SymUI, SymFramework) of
+// a class.method symbol at intern time. It must be deterministic over the
+// life of the table: attributes are resolved exactly once per symbol.
+type AttrResolver func(class, method string) SymAttrs
+
+type symKey struct{ class, method string }
+
+// symEntry is the immutable per-symbol record. The canonical key string is
+// built once here so ID-to-key resolution never concatenates again.
+type symEntry struct {
+	class, method string
+	key           string // class + "." + method
+	attrs         SymAttrs
+}
+
+// kbSlot caches one symbol's known-blocking verdict, valid while its epoch
+// matches the table's current known-blocking epoch.
+type kbSlot struct {
+	epoch uint64
+	known bool
+}
+
+// Symtab interns class.method frame keys to dense symbol IDs with attribute
+// bits. It is safe for concurrent use: interning takes a write lock, and
+// lookups by ID go through an immutable View snapshot so steady-state hot
+// loops never touch the lock. One table belongs to one api.Registry; IDs
+// are meaningless across tables.
+type Symtab struct {
+	resolve AttrResolver
+
+	mu      sync.RWMutex
+	ids     map[symKey]SymID
+	entries []symEntry // index = SymID; entries[0] is the NoSym placeholder
+
+	// Known-blocking cache: epoch bumps on every database change
+	// (InvalidateKnownBlocking); slots lazily re-resolve on first read in
+	// the new epoch. Guarded by its own mutex so the read-mostly static
+	// tables above stay contention-free.
+	kbMu    sync.Mutex
+	kbEpoch uint64
+	kb      []kbSlot
+}
+
+// NewSymtab returns an empty table whose static attribute bits are computed
+// by resolve (nil means all symbols get zero attributes).
+func NewSymtab(resolve AttrResolver) *Symtab {
+	if resolve == nil {
+		resolve = func(string, string) SymAttrs { return 0 }
+	}
+	return &Symtab{
+		resolve: resolve,
+		ids:     map[symKey]SymID{},
+		entries: make([]symEntry, 1), // reserve NoSym
+		kbEpoch: 1,
+	}
+}
+
+// Intern returns the ID for class.method, assigning the next dense ID (and
+// resolving attributes) on first sight. Looking up an existing symbol does
+// not allocate.
+func (t *Symtab) Intern(class, method string) SymID {
+	k := symKey{class, method}
+	t.mu.RLock()
+	id, ok := t.ids[k]
+	t.mu.RUnlock()
+	if ok {
+		return id
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if id, ok := t.ids[k]; ok {
+		return id
+	}
+	id = SymID(len(t.entries))
+	t.entries = append(t.entries, symEntry{
+		class: class, method: method,
+		key:   class + "." + method,
+		attrs: t.resolve(class, method),
+	})
+	t.ids[k] = id
+	return id
+}
+
+// Lookup returns the ID for class.method without interning, and whether it
+// exists.
+func (t *Symtab) Lookup(class, method string) (SymID, bool) {
+	t.mu.RLock()
+	id, ok := t.ids[symKey{class, method}]
+	t.mu.RUnlock()
+	return id, ok
+}
+
+// LookupKey is Lookup for an already-concatenated "class.method" key (the
+// string-input boundary: fleet imports, offline tools, tests).
+func (t *Symtab) LookupKey(key string) (SymID, bool) {
+	cls, m := splitKey(key)
+	return t.Lookup(cls, m)
+}
+
+// Len returns the number of slots including the NoSym placeholder, i.e. one
+// past the highest assigned ID. Dense per-symbol scratch buffers size to it.
+func (t *Symtab) Len() int {
+	t.mu.RLock()
+	n := len(t.entries)
+	t.mu.RUnlock()
+	return n
+}
+
+// Key returns the canonical "class.method" string for id ("" for NoSym or
+// out-of-range). The string is built at intern time, so this never
+// allocates.
+func (t *Symtab) Key(id SymID) string { return t.View().Key(id) }
+
+// Attrs returns id's static attribute bits (zero for NoSym/out-of-range).
+func (t *Symtab) Attrs(id SymID) SymAttrs { return t.View().Attrs(id) }
+
+// View returns an immutable snapshot for lock-free ID-indexed reads.
+// Symbols interned after the snapshot are out of its range — take a fresh
+// View after interning. Entries visible in a View are never mutated, so a
+// View is safe to use concurrently with interning.
+func (t *Symtab) View() View {
+	t.mu.RLock()
+	v := View{entries: t.entries}
+	t.mu.RUnlock()
+	return v
+}
+
+// View is a point-in-time, lock-free window onto a Symtab's static tables.
+// The zero View is valid and empty.
+type View struct {
+	entries []symEntry
+}
+
+// Len returns one past the highest ID visible in the view.
+func (v View) Len() int { return len(v.entries) }
+
+// Key returns the canonical key for id, or "" when id is NoSym or beyond
+// the view.
+func (v View) Key(id SymID) string {
+	if int(id) >= len(v.entries) {
+		return ""
+	}
+	return v.entries[id].key
+}
+
+// Class returns the class part for id ("" when out of view).
+func (v View) Class(id SymID) string {
+	if int(id) >= len(v.entries) {
+		return ""
+	}
+	return v.entries[id].class
+}
+
+// Method returns the method part for id ("" when out of view).
+func (v View) Method(id SymID) string {
+	if int(id) >= len(v.entries) {
+		return ""
+	}
+	return v.entries[id].method
+}
+
+// Attrs returns the static attribute bits for id (zero when out of view).
+func (v View) Attrs(id SymID) SymAttrs {
+	if int(id) >= len(v.entries) {
+		return 0
+	}
+	return v.entries[id].attrs
+}
+
+// InvalidateKnownBlocking starts a new known-blocking epoch: every cached
+// SymKnownBlocking verdict becomes stale and re-resolves on its next read.
+// The table's owner calls this after any database mutation (feedback-loop
+// insert, snapshot reset) — an O(1) bump instead of rewriting a bit per
+// symbol.
+func (t *Symtab) InvalidateKnownBlocking() {
+	t.kbMu.Lock()
+	t.kbEpoch++
+	t.kbMu.Unlock()
+}
+
+// KnownBlocking reports whether id's symbol is in the known-blocking
+// database, consulting the per-symbol cache and re-resolving through
+// resolve (a string-keyed database lookup) only when the cache predates the
+// current epoch. resolve must not call back into this Symtab.
+func (t *Symtab) KnownBlocking(id SymID, resolve func(key string) bool) bool {
+	if id == NoSym {
+		return false
+	}
+	key := t.Key(id)
+	if key == "" {
+		return false
+	}
+	t.kbMu.Lock()
+	if int(id) >= len(t.kb) {
+		grown := make([]kbSlot, t.Len())
+		copy(grown, t.kb)
+		t.kb = grown
+	}
+	slot := &t.kb[id]
+	if slot.epoch == t.kbEpoch {
+		known := slot.known
+		t.kbMu.Unlock()
+		return known
+	}
+	epoch := t.kbEpoch
+	t.kbMu.Unlock()
+
+	// Resolve outside kbMu: the database lookup takes the owner's lock, and
+	// holding both here would order locks against the owner's own
+	// mutate-then-invalidate path.
+	known := resolve(key)
+
+	t.kbMu.Lock()
+	if t.kbEpoch == epoch && int(id) < len(t.kb) {
+		t.kb[id] = kbSlot{epoch: epoch, known: known}
+	}
+	t.kbMu.Unlock()
+	return known
+}
+
+// splitKey splits "class.method" at the last dot; a dotless key is all
+// class.
+func splitKey(key string) (class, method string) {
+	for i := len(key) - 1; i >= 0; i-- {
+		if key[i] == '.' {
+			return key[:i], key[i+1:]
+		}
+	}
+	return key, ""
+}
