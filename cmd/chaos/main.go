@@ -30,6 +30,7 @@ import (
 	"hangdoctor/internal/corpus"
 	"hangdoctor/internal/detect"
 	"hangdoctor/internal/fault"
+	"hangdoctor/internal/obs"
 	"hangdoctor/internal/simclock"
 )
 
@@ -99,6 +100,9 @@ func main() {
 	apps := strings.Split(*appsFlag, ",")
 
 	rows := make([]sweepRow, 0, len(rates))
+	// Every (app, rate) cell's Doctor registry merges into one sweep-wide
+	// metrics view, printed at exit.
+	var cellSnaps []obs.Snapshot
 	for _, rate := range rates {
 		fr, err := ratesFor(*kind, rate)
 		if err != nil {
@@ -129,6 +133,7 @@ func main() {
 			row.overhead += h.Overhead(d).Avg() / float64(len(apps))
 			hl := d.Health()
 			row.health.Add(hl)
+			cellSnaps = append(cellSnaps, d.Metrics())
 		}
 		rows = append(rows, row)
 	}
@@ -144,6 +149,9 @@ func main() {
 			r.fp-base.fp)
 	}
 	fmt.Printf("\nhealth at max rate: %s\n", rows[len(rows)-1].health)
+
+	fmt.Printf("\nsweep metrics (all %d cells merged):\n%s",
+		len(cellSnaps), obs.MergeSnapshots(cellSnaps...).Summary())
 
 	// Graceful-degradation contract: faults must never create detections the
 	// perfect plane would not have made.

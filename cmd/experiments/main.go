@@ -21,6 +21,8 @@ import (
 	"time"
 
 	"hangdoctor/internal/experiments"
+	"hangdoctor/internal/experiments/pool"
+	"hangdoctor/internal/obs"
 )
 
 func main() {
@@ -73,6 +75,12 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
+	// The worker pool reports into this registry; the summary prints after
+	// the run. Rendered artifacts never read it, so they stay byte-identical
+	// whether or not metrics are on.
+	reg := obs.NewRegistry()
+	pool.RegisterMetrics(reg)
+
 	ctx := experiments.NewContext(*seed, scale)
 	ctx.Parallel = *parallel
 	for _, name := range names {
@@ -85,6 +93,7 @@ func main() {
 		fmt.Println(res.Render())
 		fmt.Printf("[%s regenerated in %v]\n\n", res.Name(), time.Since(start).Round(time.Millisecond))
 	}
+	fmt.Printf("engine metrics:\n%s", reg.Snapshot().Summary())
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

@@ -66,8 +66,9 @@ func main() {
 		log.Printf("shutdown: %v", err)
 	}
 	agg.Close()
-	ms := agg.Metrics().Snapshot()
-	log.Printf("drained: accepted=%d rejected=%d invalid=%d merges=%d", ms.Accepted, ms.Rejected, ms.Invalid, ms.Merges)
+	snap := agg.Snapshot()
+	log.Printf("drained: accepted=%d rejected=%d invalid=%d merges=%d entries=%d hangs=%d",
+		snap.Accepted, snap.Rejected, snap.Invalid, snap.Merges, snap.Entries(), snap.Hangs())
 	if *printFinal {
 		rep := agg.Fold()
 		fmt.Printf("fleet report: %d root causes, %d diagnosed hangs\n\n%s", rep.Len(), rep.TotalHangs(), rep.Render())

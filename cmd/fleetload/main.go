@@ -21,11 +21,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"hangdoctor/internal/core"
 	"hangdoctor/internal/fleet"
+	"hangdoctor/internal/obs"
 )
 
 func main() {
@@ -66,7 +66,15 @@ func payloads(uploads, entries int, seed int64) [][]byte {
 
 func runHTTP(base string, uploads, entries, conc int, seed int64) {
 	docs := payloads(uploads, entries, seed)
-	var accepted, throttled, failed atomic.Int64
+	// The loader's own accounting lives in an obs registry: lock-free
+	// counters for the senders, a latency histogram for the per-POST round
+	// trip (each attempt is one observation, throttled retries included).
+	reg := obs.NewRegistry()
+	accepted := reg.Counter("fleetload_uploads_accepted_total", "Uploads acknowledged with 202.")
+	throttled := reg.Counter("fleetload_throttle_retries_total", "429 responses honored with a backoff retry.")
+	failed := reg.Counter("fleetload_uploads_failed_total", "Uploads that errored or got a non-202, non-429 status.")
+	latency := reg.Histogram("fleetload_upload_latency_ms",
+		"Round-trip wall time of one upload POST.", obs.ExpBuckets(0.25, 2, 16))
 	var wg sync.WaitGroup
 	next := make(chan []byte)
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -77,16 +85,18 @@ func runHTTP(base string, uploads, entries, conc int, seed int64) {
 			defer wg.Done()
 			for doc := range next {
 				for {
+					t0 := time.Now()
 					resp, err := client.Post(base+"/v1/upload", "application/json", bytes.NewReader(doc))
 					if err != nil {
-						failed.Add(1)
+						failed.Inc()
 						break
 					}
 					io.Copy(io.Discard, resp.Body)
 					resp.Body.Close()
+					latency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 					if resp.StatusCode == http.StatusTooManyRequests {
 						// Honor the server's backpressure and retry.
-						throttled.Add(1)
+						throttled.Inc()
 						delay := time.Second
 						if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
 							delay = time.Duration(ra) * time.Second
@@ -95,9 +105,9 @@ func runHTTP(base string, uploads, entries, conc int, seed int64) {
 						continue
 					}
 					if resp.StatusCode == http.StatusAccepted {
-						accepted.Add(1)
+						accepted.Inc()
 					} else {
-						failed.Add(1)
+						failed.Inc()
 					}
 					break
 				}
@@ -112,7 +122,10 @@ func runHTTP(base string, uploads, entries, conc int, seed int64) {
 	el := time.Since(start)
 	fmt.Printf("sent %d uploads in %v: %.0f uploads/s (accepted=%d throttled-retries=%d failed=%d)\n",
 		uploads, el.Round(time.Millisecond), float64(uploads)/el.Seconds(),
-		accepted.Load(), throttled.Load(), failed.Load())
+		accepted.Value(), throttled.Value(), failed.Value())
+	h := reg.Snapshot().Histogram("fleetload_upload_latency_ms")
+	fmt.Printf("upload latency: p50=%.2fms p95=%.2fms p99=%.2fms (%d round trips)\n",
+		h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Count)
 }
 
 func runInproc(sweep string, uploads, entries, conc int, seed int64) {

@@ -42,6 +42,7 @@ import (
 	"hangdoctor/internal/corpus"
 	"hangdoctor/internal/detect"
 	"hangdoctor/internal/fault"
+	"hangdoctor/internal/obs"
 	"hangdoctor/internal/simclock"
 )
 
@@ -87,7 +88,21 @@ type (
 	FaultInjector = fault.Injector
 	// FaultStats counts the faults an injector actually delivered.
 	FaultStats = fault.Stats
+	// Metrics is a deterministic point-in-time snapshot of a Doctor's obs
+	// registry: health and accounting counters, perf-plane counters,
+	// injected-fault ground truth, and the stage-latency histograms.
+	// Obtain one with (*Doctor).Metrics(); merge many with MergeMetrics.
+	Metrics = obs.Snapshot
+	// MetricsFamily is one named metric within a Metrics snapshot.
+	MetricsFamily = obs.Family
+	// MetricsHistogram is a point-in-time copy of one histogram, with
+	// Quantile for p50/p95/p99-style queries.
+	MetricsHistogram = obs.HistogramSnapshot
 )
+
+// MergeMetrics folds metrics snapshots from many Doctors into one
+// fleet-style view: counters and gauges sum, histograms add bucket-wise.
+func MergeMetrics(snaps ...Metrics) Metrics { return obs.MergeSnapshots(snaps...) }
 
 // NewFaultInjector builds a fault injector whose decisions are a pure
 // function of seed and rates. Install it with (*Session).SetFaults before

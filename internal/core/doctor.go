@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"time"
 
 	"hangdoctor/internal/android/app"
 	"hangdoctor/internal/cpu"
@@ -82,6 +83,14 @@ type Doctor struct {
 	wide        wideCollector
 	telemetry   *Telemetry
 	health      Health
+
+	// metrics is the per-Doctor obs registry; execsSeen/hangsSeen back its
+	// action counters (plain ints: the Doctor runs on one sim goroutine),
+	// samplerStart anchors the stack-collection-duration histogram.
+	metrics      *doctorMetrics
+	execsSeen    int64
+	hangsSeen    int64
+	samplerStart simclock.Time
 }
 
 // New builds a Doctor with the given configuration.
@@ -94,6 +103,7 @@ func New(cfg Config) *Doctor {
 	}
 	d.wide.doctor = d
 	d.condEvents = d.cfg.conditionEvents()
+	d.metrics = newDoctorMetrics(d)
 	return d
 }
 
@@ -247,7 +257,7 @@ func (d *Doctor) ActionStart(e *app.ActionExec) {
 // openPerf opens the S-Checker's perf session, retrying failed opens with
 // bounded exponential backoff while the same execution is still running.
 func (d *Doctor) openPerf(r *actionRecord, e *app.ActionExec, attempt int) {
-	cfg := d.session.PerfConfig()
+	cfg := d.perfConfig()
 	cfg.Faults = d.session.Faults()
 	sess, err := perf.TryOpen(d.session.Clk, d.monitoredThreads(), d.condEvents, cfg)
 	if err != nil {
@@ -269,6 +279,16 @@ func (d *Doctor) openPerf(r *actionRecord, e *app.ActionExec, attempt int) {
 		return
 	}
 	d.perfSess = sess
+}
+
+// perfConfig is the session's perf configuration stamped with the
+// Doctor's metrics sink; the S-Checker additionally stamps the fault
+// plane (the wide collector deliberately measures an unfaulted plane, so
+// its readings stay comparable across chaos sweeps).
+func (d *Doctor) perfConfig() perf.Config {
+	cfg := d.session.PerfConfig()
+	cfg.Metrics = d.metrics.perf
+	return cfg
 }
 
 func (d *Doctor) monitoredThreads() []*cpu.Thread {
@@ -307,6 +327,7 @@ func (d *Doctor) startSampler() {
 		return
 	}
 	d.sampling = true
+	d.samplerStart = d.session.Clk.Now()
 	var tick func()
 	tick = func() {
 		d.sampler = nil
@@ -337,6 +358,13 @@ func (d *Doctor) startSampler() {
 }
 
 func (d *Doctor) stopSampler() {
+	if d.sampling && len(d.curTraces) > 0 {
+		// The burst collected at least one sample: record how long the
+		// Trace Collector ran (simulated time — the span the app hung
+		// under observation).
+		elapsed := d.session.Clk.Now().Sub(d.samplerStart)
+		d.metrics.stackCollectMs.Observe(elapsed.Milliseconds())
+	}
 	d.sampling = false
 	if d.sampler != nil {
 		d.session.Clk.Cancel(d.sampler)
@@ -386,12 +414,19 @@ func (d *Doctor) ActionEnd(e *app.ActionExec) {
 	}
 	rt := e.ResponseTime()
 	hang := rt > d.cfg.PerceivableDelay
+	d.execsSeen++
+	if hang {
+		d.hangsSeen++
+		d.metrics.hangResponseMs.Observe(rt.Milliseconds())
+	}
 	d.Telemetry().Record(r.uid, rt)
 	d.wide.onActionEnd(rt, hang)
 
 	switch {
 	case r.state == Uncategorized && !d.cfg.Phase2Only:
+		start := time.Now()
 		d.sCheck(r, e, rt, hang)
+		d.metrics.scheckLatencyNs.Observe(float64(time.Since(start)))
 	case r.state == Suspicious && d.cfg.Phase1Only:
 		// Phase-1-only ablation: without a Diagnoser, every further hang of
 		// a flagged action is reported unconfirmed.
@@ -592,7 +627,9 @@ func (d *Doctor) recordDetection(r *actionRecord, e *app.ActionExec, rt simclock
 	if rt > det.MaxResponse {
 		det.MaxResponse = rt
 	}
+	foldStart := time.Now()
 	d.report.Add(d.session.App.Name, d.deviceLabel, r.uid, diag, rt)
+	d.metrics.reportFoldNs.Observe(float64(time.Since(foldStart)))
 	// Feedback loop: a diagnosed blocking *API* extends the offline tools'
 	// database; self-developed operations are only reported to the
 	// developer (§3.1). The diagnosis carries the root cause's symbol ID,

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"hangdoctor/internal/fault"
+	"hangdoctor/internal/obs"
+	"hangdoctor/internal/perf"
+)
+
+// doctorMetrics is the Doctor's per-instance obs registry. The existing
+// plain-int accounting (Health, detect.Log, Telemetry) stays the source of
+// truth — callback metrics project it into the registry at snapshot time,
+// so the hot paths pay nothing for the second surface. Only quantities
+// whose distribution matters (hang response, S-Checker decision latency,
+// stack-collection duration, report-fold time) additionally feed real
+// histograms.
+//
+// Two clocks feed the histograms, deliberately: hang response and
+// stack-collection durations are simulated time (what the app experienced,
+// reproducible from the seed), while S-Checker and report-fold latencies
+// are wall-clock (what the monitor itself costs on the machine running
+// it). Neither feeds a rendered artifact, so experiment outputs remain
+// byte-identical across hosts.
+type doctorMetrics struct {
+	reg  *obs.Registry
+	perf *perf.Metrics
+
+	hangResponseMs  *obs.Histogram
+	scheckLatencyNs *obs.Histogram
+	stackCollectMs  *obs.Histogram
+	reportFoldNs    *obs.Histogram
+}
+
+// healthCounterNames pairs each Health field with its exposition name, in
+// struct order. Kept next to doctorMetrics so adding a Health field shows
+// up as a missing registration in code review.
+var healthCounterHelp = [...][2]string{
+	{"hangdoctor_health_perf_open_failures_total", "perf_event_open attempts that failed."},
+	{"hangdoctor_health_perf_open_retries_total", "Backed-off retries of failed perf opens."},
+	{"hangdoctor_health_counters_lost_total", "Per-condition counter values lost to multiplexing."},
+	{"hangdoctor_health_render_lost_total", "Sessions that lost the render thread's counters."},
+	{"hangdoctor_health_stacks_dropped_total", "Stack samples lost entirely."},
+	{"hangdoctor_health_stacks_truncated_total", "Stack samples that lost outer frames."},
+	{"hangdoctor_health_sampler_overruns_total", "Sampler ticks that fired late."},
+	{"hangdoctor_health_verdicts_deferred_total", "Judgements skipped for lack of surviving data."},
+	{"hangdoctor_health_low_confidence_total", "Verdicts rendered from a degraded plane."},
+	{"hangdoctor_health_quarantines_total", "Actions quarantined after consecutive open failures."},
+}
+
+func newDoctorMetrics(d *Doctor) *doctorMetrics {
+	reg := obs.NewRegistry()
+	m := &doctorMetrics{
+		reg:  reg,
+		perf: perf.NewMetrics(reg),
+		hangResponseMs: reg.Histogram("hangdoctor_hang_response_ms",
+			"Response time of soft-hang action executions (simulated ms).",
+			obs.ExpBuckets(25, 2, 12)),
+		scheckLatencyNs: reg.Histogram("hangdoctor_scheck_latency_ns",
+			"Wall-clock latency of one S-Checker decision.",
+			obs.ExpBuckets(128, 4, 10)),
+		stackCollectMs: reg.Histogram("hangdoctor_stack_collection_ms",
+			"Simulated duration of one diagnosis stack-collection burst.",
+			obs.ExpBuckets(5, 2, 12)),
+		reportFoldNs: reg.Histogram("hangdoctor_report_fold_ns",
+			"Wall-clock latency of folding one diagnosis into the report.",
+			obs.ExpBuckets(128, 4, 10)),
+	}
+	for i, hc := range healthCounterHelp {
+		v := healthField(&d.health, i)
+		reg.CounterFunc(hc[0], hc[1], func() int64 { return int64(*v) })
+	}
+	reg.CounterFunc("hangdoctor_actions_total",
+		"Action executions observed.",
+		func() int64 { return d.execsSeen })
+	reg.CounterFunc("hangdoctor_hangs_total",
+		"Action executions above the perceivable delay.",
+		func() int64 { return d.hangsSeen })
+	reg.CounterFunc("hangdoctor_monitor_cost_ns_total",
+		"Accounted detector CPU cost (simulated ns).",
+		func() int64 { return d.log.CostNs })
+	reg.CounterFunc("hangdoctor_monitor_mem_bytes_total",
+		"Accounted detector memory footprint (bytes).",
+		func() int64 { return d.log.MemUsed })
+	// Injected-fault ground truth, read through the session because the
+	// injector is installed (SetFaults) after the detector attaches.
+	fault.RegisterStats(reg, func() fault.Stats {
+		if d.session == nil {
+			return fault.Stats{}
+		}
+		return d.session.Faults().Stats()
+	})
+	return m
+}
+
+// healthField maps an index in healthCounterHelp order to the matching
+// Health field. A switch rather than reflection: the registry snapshot
+// path stays allocation-predictable and the mapping is greppable.
+func healthField(h *Health, i int) *int {
+	switch i {
+	case 0:
+		return &h.PerfOpenFailures
+	case 1:
+		return &h.PerfOpenRetries
+	case 2:
+		return &h.CountersLost
+	case 3:
+		return &h.RenderLost
+	case 4:
+		return &h.StacksDropped
+	case 5:
+		return &h.StacksTruncated
+	case 6:
+		return &h.SamplerOverruns
+	case 7:
+		return &h.VerdictsDeferred
+	case 8:
+		return &h.LowConfidence
+	case 9:
+		return &h.Quarantines
+	default:
+		panic("core: healthField index out of range")
+	}
+}
+
+// Metrics returns a deterministic point-in-time snapshot of the Doctor's
+// metrics registry: health and accounting counters, perf-plane counters,
+// injected-fault ground truth (once attached to a faulted session), and
+// the four stage-latency histograms. Snapshots from many Doctors merge
+// with obs.MergeSnapshots.
+func (d *Doctor) Metrics() obs.Snapshot { return d.metrics.reg.Snapshot() }
+
+// MetricsRegistry exposes the live registry, for serving /metrics off a
+// running Doctor.
+func (d *Doctor) MetricsRegistry() *obs.Registry { return d.metrics.reg }

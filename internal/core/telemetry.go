@@ -22,6 +22,12 @@ type ActionStats struct {
 	// reservoir holds response-time samples in milliseconds.
 	reservoir []float64
 	seen      int
+	// sorted caches the reservoir in ascending order for Percentile;
+	// Record invalidates it. The backing array persists across re-sorts,
+	// so once the reservoir is full a dashboard render allocates nothing
+	// no matter how many percentiles it asks for.
+	sorted      []float64
+	sortedValid bool
 }
 
 // HangRate returns the fraction of executions that were soft hangs.
@@ -38,8 +44,12 @@ func (s *ActionStats) Percentile(q float64) float64 {
 	if len(s.reservoir) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), s.reservoir...)
-	sort.Float64s(sorted)
+	if !s.sortedValid {
+		s.sorted = append(s.sorted[:0], s.reservoir...)
+		sort.Float64s(s.sorted)
+		s.sortedValid = true
+	}
+	sorted := s.sorted
 	if q <= 0 {
 		return sorted[0]
 	}
@@ -98,6 +108,7 @@ func (t *Telemetry) Record(actionUID string, rt simclock.Duration) {
 	s.seen++
 	if len(s.reservoir) < maxReservoir {
 		s.reservoir = append(s.reservoir, ms)
+		s.sortedValid = false
 		return
 	}
 	// Reservoir sampling: replace a uniformly random slot with probability
@@ -110,6 +121,7 @@ func (t *Telemetry) Record(actionUID string, rt simclock.Duration) {
 	idx := int(z % uint64(s.seen))
 	if idx < maxReservoir {
 		s.reservoir[idx] = ms
+		s.sortedValid = false
 	}
 }
 

@@ -10,11 +10,58 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"hangdoctor/internal/obs"
 )
 
 // DefaultWorkers is the fan-out width used when a caller does not override
 // it: one worker per available CPU.
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// poolMetrics is the pool's obs view. It is installed process-wide (the
+// pool is package-level machinery with no instance to hang state off)
+// and read through an atomic pointer, so an uninstrumented Map pays one
+// pointer load and nothing else.
+type poolMetrics struct {
+	maps     *obs.Counter
+	units    *obs.Counter
+	failures *obs.Counter
+	unitNs   *obs.Histogram
+}
+
+var metrics atomic.Pointer[poolMetrics]
+
+// RegisterMetrics projects the pool's work accounting into reg:
+// hangdoctor_pool_maps_total, hangdoctor_pool_units_total,
+// hangdoctor_pool_unit_failures_total, and the per-unit wall-time
+// histogram hangdoctor_pool_unit_latency_ns. Unit timing never feeds
+// rendered experiment artifacts, so instrumented runs stay
+// byte-identical to uninstrumented ones.
+func RegisterMetrics(reg *obs.Registry) {
+	metrics.Store(&poolMetrics{
+		maps:     reg.Counter("hangdoctor_pool_maps_total", "Map calls executed."),
+		units:    reg.Counter("hangdoctor_pool_units_total", "Work units completed."),
+		failures: reg.Counter("hangdoctor_pool_unit_failures_total", "Work units that returned an error."),
+		unitNs: reg.Histogram("hangdoctor_pool_unit_latency_ns",
+			"Wall time of one work unit.", obs.ExpBuckets(4096, 4, 12)),
+	})
+}
+
+// runUnit executes one work unit, timing it when metrics are installed.
+func runUnit[T any](m *poolMetrics, fn func(i int) (T, error), i int) (T, error) {
+	if m == nil {
+		return fn(i)
+	}
+	start := time.Now()
+	v, err := fn(i)
+	m.unitNs.Observe(float64(time.Since(start)))
+	m.units.Inc()
+	if err != nil {
+		m.failures.Inc()
+	}
+	return v, err
+}
 
 // Map runs fn(i) for every index in [0, n) on at most workers goroutines
 // and returns the n results in index order. workers <= 0 selects
@@ -35,10 +82,14 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	m := metrics.Load()
+	if m != nil {
+		m.maps.Inc()
+	}
 	out := make([]T, n)
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			v, err := fn(i)
+			v, err := runUnit(m, fn, i)
 			if err != nil {
 				return nil, err
 			}
@@ -64,7 +115,7 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 				if i >= n || failed.Load() {
 					return
 				}
-				v, err := fn(i)
+				v, err := runUnit(m, fn, i)
 				if err != nil {
 					failed.Store(true)
 					mu.Lock()

@@ -18,6 +18,7 @@ package fault
 import (
 	"fmt"
 
+	"hangdoctor/internal/obs"
 	"hangdoctor/internal/simclock"
 	"hangdoctor/internal/simrand"
 )
@@ -129,6 +130,43 @@ func (in *Injector) Stats() Stats {
 		return Stats{}
 	}
 	return in.stats
+}
+
+// RegisterStats registers hangdoctor_fault_* callback counters into reg,
+// reading delivered-fault counts from get at snapshot time, so the chaos
+// ground truth shows up on the same exposition surface as the Doctor's
+// health view. Reading through a provider rather than a captured injector
+// matters: injectors are installed on a session after the detector
+// attaches (and may be swapped between runs), and the registered series
+// must always reflect the injector currently wired to the measurement
+// plane. Injector stats mutate on the simulation goroutine; snapshot
+// reads must not race a running simulation (they never do — both the sim
+// and its scrapers are single-threaded per Doctor).
+func RegisterStats(reg *obs.Registry, get func() Stats) {
+	for _, c := range []struct {
+		name, help string
+		sel        func(Stats) int
+	}{
+		{"hangdoctor_fault_perf_open_fails_total", "Injected perf_event_open failures.", func(s Stats) int { return s.PerfOpenFails }},
+		{"hangdoctor_fault_counters_dropped_total", "Injected per-window counter dropouts.", func(s Stats) int { return s.CountersDropped }},
+		{"hangdoctor_fault_render_losses_total", "Injected render-thread counter losses.", func(s Stats) int { return s.RenderLosses }},
+		{"hangdoctor_fault_stacks_missed_total", "Injected whole-stack sample losses.", func(s Stats) int { return s.StacksMissed }},
+		{"hangdoctor_fault_stacks_truncated_total", "Injected stack truncations.", func(s Stats) int { return s.StacksTruncated }},
+		{"hangdoctor_fault_sampler_overruns_total", "Injected late sampler ticks.", func(s Stats) int { return s.SamplerOverruns }},
+	} {
+		sel := c.sel
+		reg.CounterFunc(c.name, c.help, func() int64 { return int64(sel(get())) })
+	}
+}
+
+// MetricsInto registers this injector's own delivered-fault counters into
+// reg (a no-op on a nil injector) — the standalone-injector convenience
+// over RegisterStats.
+func (in *Injector) MetricsInto(reg *obs.Registry) {
+	if in == nil {
+		return
+	}
+	RegisterStats(reg, in.Stats)
 }
 
 // fire draws one decision at rate p from rng. It never draws when the rate

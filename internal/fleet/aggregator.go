@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -93,7 +94,7 @@ type Aggregator struct {
 	cfg     Config
 	intake  chan *core.Report
 	shards  []chan shardMsg
-	metrics Metrics
+	metrics *Metrics
 
 	mu        sync.RWMutex
 	closed    bool // no further Submits
@@ -109,12 +110,15 @@ type Aggregator struct {
 func NewAggregator(cfg Config) *Aggregator {
 	cfg = cfg.withDefaults()
 	a := &Aggregator{
-		cfg:    cfg,
-		intake: make(chan *core.Report, cfg.QueueDepth),
-		shards: make([]chan shardMsg, cfg.Shards),
-		finals: make([]*core.Report, cfg.Shards),
+		cfg:     cfg,
+		intake:  make(chan *core.Report, cfg.QueueDepth),
+		shards:  make([]chan shardMsg, cfg.Shards),
+		finals:  make([]*core.Report, cfg.Shards),
+		metrics: newMetrics(cfg.QueueDepth),
 	}
-	a.metrics.queueCap = cfg.QueueDepth
+	a.metrics.reg.GaugeFunc("hangdoctor_fleet_queue_depth",
+		"Current intake backlog.",
+		func() int64 { return int64(len(a.intake)) })
 	for i := range a.shards {
 		a.shards[i] = make(chan shardMsg, 2*cfg.BatchSize)
 		a.shardWG.Add(1)
@@ -134,7 +138,89 @@ func (a *Aggregator) Shards() int { return a.cfg.Shards }
 func (a *Aggregator) QueueDepth() int { return len(a.intake) }
 
 // Metrics returns the aggregator's counters.
-func (a *Aggregator) Metrics() *Metrics { return &a.metrics }
+func (a *Aggregator) Metrics() *Metrics { return a.metrics }
+
+// AggregatorSnapshot is one consistent read of the aggregator's state:
+// the ingestion counters (with the merge triple read atomically), the
+// live queue backlog, and every shard's self-description. It backs
+// /healthz, /metrics.json, and the shutdown log line, so all three
+// surfaces describe the same moment instead of re-reading counters that
+// advanced between them.
+type AggregatorSnapshot struct {
+	MetricsSnapshot
+	QueueDepth int          `json:"queue_depth"`
+	Shards     []ShardStats `json:"shards"`
+}
+
+// Entries sums root-cause entries across shards.
+func (s AggregatorSnapshot) Entries() int {
+	n := 0
+	for _, st := range s.Shards {
+		n += st.Entries
+	}
+	return n
+}
+
+// Hangs sums diagnosed hangs across shards.
+func (s AggregatorSnapshot) Hangs() int {
+	n := 0
+	for _, st := range s.Shards {
+		n += st.Hangs
+	}
+	return n
+}
+
+// Snapshot reads the counters, the queue depth, and the shard stats in
+// that order. Shard stats are answered at merge boundaries, so while
+// traffic is in flight the counters may be slightly ahead of the shard
+// view — but each piece is internally consistent.
+func (a *Aggregator) Snapshot() AggregatorSnapshot {
+	return AggregatorSnapshot{
+		MetricsSnapshot: a.metrics.Snapshot(),
+		QueueDepth:      a.QueueDepth(),
+		Shards:          a.ShardStats(),
+	}
+}
+
+// scrape refreshes the scrape-time gauges that project live shard state
+// into the registry — per-shard entry counts, fleet-wide totals, and the
+// summed device health — immediately before an exposition is written.
+// Gauge re-registration is idempotent, so repeated scrapes update the
+// same series.
+func (a *Aggregator) scrape() {
+	stats := a.ShardStats()
+	reg := a.metrics.reg
+	shardEntries := reg.GaugeVec("hangdoctor_fleet_shard_entries",
+		"Root-cause entries owned by each shard.", "shard")
+	var entries, hangs int64
+	var health core.Health
+	for i, st := range stats {
+		shardEntries.With(strconv.Itoa(i)).Set(int64(st.Entries))
+		entries += int64(st.Entries)
+		hangs += int64(st.Hangs)
+		health.Add(st.Health)
+	}
+	reg.Gauge("hangdoctor_fleet_entries", "Distinct root causes fleet-wide.").Set(entries)
+	reg.Gauge("hangdoctor_fleet_hangs", "Diagnosed soft hangs fleet-wide.").Set(hangs)
+	for _, hc := range []struct {
+		name string
+		v    int
+	}{
+		{"perf_open_failures", health.PerfOpenFailures},
+		{"perf_open_retries", health.PerfOpenRetries},
+		{"counters_lost", health.CountersLost},
+		{"render_lost", health.RenderLost},
+		{"stacks_dropped", health.StacksDropped},
+		{"stacks_truncated", health.StacksTruncated},
+		{"sampler_overruns", health.SamplerOverruns},
+		{"verdicts_deferred", health.VerdictsDeferred},
+		{"low_confidence", health.LowConfidence},
+		{"quarantines", health.Quarantines},
+	} {
+		reg.Gauge("hangdoctor_fleet_health_"+hc.name,
+			"Summed degraded-mode health counter across devices.").Set(int64(hc.v))
+	}
+}
 
 // Submit enqueues one validated upload without blocking. It returns
 // ErrQueueFull when the bounded queue is at capacity and ErrClosed after
@@ -144,15 +230,15 @@ func (a *Aggregator) Submit(rep *core.Report) error {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if a.closed {
-		a.metrics.rejected.Add(1)
+		a.metrics.rejected.Inc()
 		return ErrClosed
 	}
 	select {
 	case a.intake <- rep:
-		a.metrics.accepted.Add(1)
+		a.metrics.accepted.Inc()
 		return nil
 	default:
-		a.metrics.rejected.Add(1)
+		a.metrics.rejected.Inc()
 		return ErrQueueFull
 	}
 }
@@ -164,11 +250,11 @@ func (a *Aggregator) SubmitWait(rep *core.Report) error {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if a.closed {
-		a.metrics.rejected.Add(1)
+		a.metrics.rejected.Inc()
 		return ErrClosed
 	}
 	a.intake <- rep
-	a.metrics.accepted.Add(1)
+	a.metrics.accepted.Inc()
 	return nil
 }
 
@@ -232,9 +318,7 @@ func (a *Aggregator) runShard(i int) {
 		}
 		start := time.Now()
 		rep.Merge(batch...)
-		a.metrics.merges.Add(1)
-		a.metrics.mergedFragments.Add(int64(len(batch)))
-		a.metrics.mergeNs.Add(time.Since(start).Nanoseconds())
+		a.metrics.noteMerge(len(batch), time.Since(start))
 		for _, m2 := range ctrl {
 			serve(m2)
 		}
@@ -276,6 +360,8 @@ func (a *Aggregator) ShardStats() []ShardStats {
 // is closed and drained it is the exact fleet total, byte-identical in
 // Export/Render to a serial merge of every accepted upload.
 func (a *Aggregator) Fold() *core.Report {
+	start := time.Now()
+	defer func() { a.metrics.noteFold(time.Since(start)) }()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if a.finalized {

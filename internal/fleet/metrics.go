@@ -1,50 +1,131 @@
 package fleet
 
-import "sync/atomic"
+import (
+	"sync"
+	"time"
 
-// Metrics are the aggregator's ingestion counters. All fields are atomics so
-// the hot path never takes a lock to account an upload.
+	"hangdoctor/internal/obs"
+)
+
+// Metrics is the aggregator's ingestion accounting, held in an obs
+// registry so fleetd's /metrics is the standard exposition rather than a
+// hand-rolled formatter. The per-upload counters are lock-free obs
+// counters (the Submit hot path never takes a lock to account an
+// upload). The merge triple — merges, fragments, total nanoseconds — is
+// updated and read under one mutex, so a snapshot can never observe a
+// merge whose fragment count arrived but whose latency has not (the
+// torn-read hazard of the old independent atomics); merge accounting
+// happens on N shard goroutines once per *batch*, where a mutex is
+// noise.
 type Metrics struct {
-	accepted        atomic.Int64
-	rejected        atomic.Int64
-	invalid         atomic.Int64
-	merges          atomic.Int64
-	mergedFragments atomic.Int64
-	mergeNs         atomic.Int64
-	queueCap        int
+	reg *obs.Registry
+
+	accepted *obs.Counter
+	rejected *obs.Counter
+	invalid  *obs.Counter
+
+	// mergeLatency distributes per-merge wall time; its _sum line carries
+	// the same total as MergeNs.
+	mergeLatency *obs.Histogram
+	// foldLatency distributes whole-fleet fold (read-path) wall time.
+	foldLatency *obs.Histogram
+
+	mu              sync.Mutex
+	merges          int64
+	mergedFragments int64
+	mergeNs         int64
+
+	queueCap int
 }
+
+func newMetrics(queueCap int) *Metrics {
+	reg := obs.NewRegistry()
+	m := &Metrics{
+		reg:      reg,
+		queueCap: queueCap,
+		accepted: reg.Counter("hangdoctor_fleet_uploads_accepted_total",
+			"Uploads admitted to the intake queue."),
+		rejected: reg.Counter("hangdoctor_fleet_uploads_rejected_total",
+			"Uploads refused for backpressure or shutdown."),
+		invalid: reg.Counter("hangdoctor_fleet_uploads_invalid_total",
+			"Uploads that failed validation."),
+		mergeLatency: reg.Histogram("hangdoctor_fleet_merge_latency_ns",
+			"Wall time of one shard merge call.",
+			obs.ExpBuckets(1024, 4, 12)),
+		foldLatency: reg.Histogram("hangdoctor_fleet_fold_latency_ns",
+			"Wall time of folding every shard into one fleet report.",
+			obs.ExpBuckets(1024, 4, 12)),
+	}
+	reg.GaugeFunc("hangdoctor_fleet_queue_capacity",
+		"Configured intake bound.",
+		func() int64 { return int64(queueCap) })
+	reg.CounterFunc("hangdoctor_fleet_merges_total",
+		"Shard merge calls.",
+		func() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.merges })
+	reg.CounterFunc("hangdoctor_fleet_merged_fragments_total",
+		"Fragments folded across all merges.",
+		func() int64 { m.mu.Lock(); defer m.mu.Unlock(); return m.mergedFragments })
+	return m
+}
+
+// Registry exposes the live obs registry, for serving /metrics and for
+// registering process-level series (queue depth, shard gauges) next to
+// the ingestion counters.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // NoteInvalid counts an upload that failed validation before it could be
 // queued (the HTTP layer's 400 path).
-func (m *Metrics) NoteInvalid() { m.invalid.Add(1) }
+func (m *Metrics) NoteInvalid() { m.invalid.Inc() }
 
-// MetricsSnapshot is a point-in-time copy of the counters.
+// noteMerge accounts one shard merge call: the triple moves together
+// under the mutex, the histogram takes the same duration.
+func (m *Metrics) noteMerge(frags int, d time.Duration) {
+	ns := d.Nanoseconds()
+	m.mergeLatency.Observe(float64(ns))
+	m.mu.Lock()
+	m.merges++
+	m.mergedFragments += int64(frags)
+	m.mergeNs += ns
+	m.mu.Unlock()
+}
+
+// noteFold accounts one whole-fleet fold.
+func (m *Metrics) noteFold(d time.Duration) {
+	m.foldLatency.Observe(float64(d.Nanoseconds()))
+}
+
+// MetricsSnapshot is a point-in-time copy of the counters. The merge
+// triple is read in one critical section: Merges, MergedFragments, and
+// MergeNs always describe the same set of completed merges.
 type MetricsSnapshot struct {
 	// Accepted counts uploads admitted to the intake queue.
-	Accepted int64
+	Accepted int64 `json:"accepted"`
 	// Rejected counts uploads refused for backpressure or shutdown.
-	Rejected int64
+	Rejected int64 `json:"rejected"`
 	// Invalid counts uploads that failed schema validation.
-	Invalid int64
+	Invalid int64 `json:"invalid"`
 	// Merges counts shard merge calls; MergedFragments counts the fragments
 	// they folded (MergedFragments/Merges is the realized batch size).
-	Merges          int64
-	MergedFragments int64
+	Merges          int64 `json:"merges"`
+	MergedFragments int64 `json:"merged_fragments"`
 	// MergeNs is total wall time spent inside shard merges.
-	MergeNs int64
+	MergeNs int64 `json:"merge_ns"`
 	// QueueCapacity is the configured intake bound.
-	QueueCapacity int
+	QueueCapacity int `json:"queue_capacity"`
 }
 
 // Snapshot reads every counter once.
 func (m *Metrics) Snapshot() MetricsSnapshot {
+	m.mu.Lock()
+	merges, frags, ns := m.merges, m.mergedFragments, m.mergeNs
+	m.mu.Unlock()
 	return MetricsSnapshot{
-		Accepted:        m.accepted.Load(),
-		Rejected:        m.rejected.Load(),
-		Invalid:         m.invalid.Load(),
-		Merges:          m.merges.Load(),
-		MergedFragments: m.mergedFragments.Load(),
-		MergeNs:         m.mergeNs.Load(),
+		Accepted:        m.accepted.Value(),
+		Rejected:        m.rejected.Value(),
+		Invalid:         m.invalid.Value(),
+		Merges:          merges,
+		MergedFragments: frags,
+		MergeNs:         ns,
 		QueueCapacity:   m.queueCap,
 	}
 }

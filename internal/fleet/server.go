@@ -12,10 +12,11 @@ import (
 
 // Server is the HTTP face of an Aggregator:
 //
-//	POST /v1/upload  — one (*core.Report).Export JSON document per request
-//	GET  /v1/report  — the folded fleet report (text, or ?format=json)
-//	GET  /healthz    — liveness + queue occupancy
-//	GET  /metrics    — Prometheus text exposition
+//	POST /v1/upload    — one (*core.Report).Export JSON document per request
+//	GET  /v1/report    — the folded fleet report (text, or ?format=json)
+//	GET  /healthz      — liveness + queue occupancy
+//	GET  /metrics      — Prometheus text exposition (obs registry)
+//	GET  /metrics.json — the same state as one AggregatorSnapshot JSON document
 type Server struct {
 	agg *Aggregator
 	// MaxBodyBytes bounds an upload document (default 8 MiB); oversized
@@ -37,6 +38,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/report", s.handleReport)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
 	return mux
 }
 
@@ -91,65 +93,28 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	ms := s.agg.Metrics().Snapshot()
+	snap := s.agg.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{
 		"status":         "ok",
 		"shards":         s.agg.Shards(),
-		"queue_depth":    s.agg.QueueDepth(),
-		"queue_capacity": ms.QueueCapacity,
-		"accepted":       ms.Accepted,
-		"rejected":       ms.Rejected,
-		"invalid":        ms.Invalid,
+		"queue_depth":    snap.QueueDepth,
+		"queue_capacity": snap.QueueCapacity,
+		"accepted":       snap.Accepted,
+		"rejected":       snap.Rejected,
+		"invalid":        snap.Invalid,
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	ms := s.agg.Metrics().Snapshot()
-	stats := s.agg.ShardStats()
+	// Project live shard state into the registry, then let obs render the
+	// whole exposition — one formatter for every metric surface.
+	s.agg.scrape()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	counter := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
-	}
-	gauge := func(name, help string, v int64) {
-		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
-	}
-	counter("hangdoctor_fleet_uploads_accepted_total", "Uploads admitted to the intake queue.", ms.Accepted)
-	counter("hangdoctor_fleet_uploads_rejected_total", "Uploads refused for backpressure or shutdown.", ms.Rejected)
-	counter("hangdoctor_fleet_uploads_invalid_total", "Uploads that failed validation.", ms.Invalid)
-	gauge("hangdoctor_fleet_queue_depth", "Current intake backlog.", int64(s.agg.QueueDepth()))
-	gauge("hangdoctor_fleet_queue_capacity", "Configured intake bound.", int64(ms.QueueCapacity))
-	counter("hangdoctor_fleet_merges_total", "Shard merge calls.", ms.Merges)
-	counter("hangdoctor_fleet_merged_fragments_total", "Fragments folded across all merges.", ms.MergedFragments)
-	counter("hangdoctor_fleet_merge_latency_ns_sum", "Total wall time inside shard merges.", ms.MergeNs)
+	s.agg.Metrics().Registry().WritePrometheus(w)
+}
 
-	var entries, hangs int64
-	var health core.Health
-	fmt.Fprintf(w, "# HELP hangdoctor_fleet_shard_entries Root-cause entries owned by each shard.\n# TYPE hangdoctor_fleet_shard_entries gauge\n")
-	for i, st := range stats {
-		fmt.Fprintf(w, "hangdoctor_fleet_shard_entries{shard=\"%d\"} %d\n", i, st.Entries)
-		entries += int64(st.Entries)
-		hangs += int64(st.Hangs)
-		health.Add(st.Health)
-	}
-	gauge("hangdoctor_fleet_entries", "Distinct root causes fleet-wide.", entries)
-	gauge("hangdoctor_fleet_hangs", "Diagnosed soft hangs fleet-wide.", hangs)
-	for _, hc := range []struct {
-		name string
-		v    int
-	}{
-		{"perf_open_failures", health.PerfOpenFailures},
-		{"perf_open_retries", health.PerfOpenRetries},
-		{"counters_lost", health.CountersLost},
-		{"render_lost", health.RenderLost},
-		{"stacks_dropped", health.StacksDropped},
-		{"stacks_truncated", health.StacksTruncated},
-		{"sampler_overruns", health.SamplerOverruns},
-		{"verdicts_deferred", health.VerdictsDeferred},
-		{"low_confidence", health.LowConfidence},
-		{"quarantines", health.Quarantines},
-	} {
-		name := "hangdoctor_fleet_health_" + hc.name
-		gauge(name, "Summed degraded-mode health counter across devices.", int64(hc.v))
-	}
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.agg.Snapshot())
 }

@@ -1,0 +1,352 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HistogramSnapshot is a point-in-time copy of one histogram. Counts are
+// per-bucket (non-cumulative); Counts[len(Bounds)] is the +Inf overflow
+// bucket, and Count always equals the sum of Counts, so the snapshot is
+// internally consistent even when taken mid-traffic.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Quantile estimates the q-quantile (0 < q < 1) with the standard
+// histogram_quantile linear interpolation inside the target bucket. It
+// returns 0 with no observations; values landing in the +Inf bucket clamp
+// to the largest finite bound (the histogram cannot see past it).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, c := range h.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.Bounds) {
+			// +Inf bucket: the best the histogram can say.
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.Bounds[i-1]
+		}
+		hi := h.Bounds[i]
+		return lo + (hi-lo)*(rank-prev)/float64(c)
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Series is one metric instance of a family snapshot.
+type Series struct {
+	// LabelValues aligns with the family's LabelNames; empty for unlabeled
+	// metrics.
+	LabelValues []string `json:"label_values,omitempty"`
+	// Value carries counter and gauge readings.
+	Value int64 `json:"value"`
+	// Histogram is set for histogram families only.
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// Family is one named metric in a snapshot.
+type Family struct {
+	Name       string   `json:"name"`
+	Help       string   `json:"help,omitempty"`
+	Kind       Kind     `json:"kind"`
+	LabelNames []string `json:"label_names,omitempty"`
+	Series     []Series `json:"series"`
+}
+
+// Snapshot is a deterministic point-in-time copy of a registry: families
+// sorted by name, series sorted by label values.
+type Snapshot struct {
+	Families []Family `json:"families"`
+}
+
+// Snapshot reads every family once. Counter and gauge reads are individual
+// atomic loads; histogram bucket sets are internally consistent (see
+// HistogramSnapshot). Callback metrics are evaluated here.
+func (r *Registry) Snapshot() Snapshot {
+	fams := r.sortedFamilies()
+	out := Snapshot{Families: make([]Family, 0, len(fams))}
+	for _, f := range fams {
+		f.mu.RLock()
+		srs := make([]*series, 0, len(f.series))
+		for _, s := range f.series {
+			srs = append(srs, s)
+		}
+		f.mu.RUnlock()
+		sort.Slice(srs, func(i, j int) bool {
+			return seriesKey(srs[i].labelValues) < seriesKey(srs[j].labelValues)
+		})
+		fam := Family{
+			Name: f.name, Help: f.help, Kind: f.kind,
+			LabelNames: f.labels,
+			Series:     make([]Series, 0, len(srs)),
+		}
+		for _, s := range srs {
+			sr := Series{LabelValues: s.labelValues}
+			switch {
+			case s.fn != nil:
+				sr.Value = s.fn()
+			case s.c != nil:
+				sr.Value = s.c.Value()
+			case s.g != nil:
+				sr.Value = s.g.Value()
+			case s.h != nil:
+				hs := s.h.snapshot()
+				sr.Histogram = &hs
+			}
+			fam.Series = append(fam.Series, sr)
+		}
+		out.Families = append(out.Families, fam)
+	}
+	return out
+}
+
+// Family returns the named family snapshot (nil if absent) — the
+// programmatic read path for tests and end-of-run reporting.
+func (s Snapshot) Family(name string) *Family {
+	for i := range s.Families {
+		if s.Families[i].Name == name {
+			return &s.Families[i]
+		}
+	}
+	return nil
+}
+
+// Value returns the value of an unlabeled counter or gauge family (0 if
+// absent).
+func (s Snapshot) Value(name string) int64 {
+	f := s.Family(name)
+	if f == nil || len(f.Series) == 0 {
+		return 0
+	}
+	return f.Series[0].Value
+}
+
+// Histogram returns the snapshot of an unlabeled histogram family (zero
+// value if absent).
+func (s Snapshot) Histogram(name string) HistogramSnapshot {
+	f := s.Family(name)
+	if f == nil || len(f.Series) == 0 || f.Series[0].Histogram == nil {
+		return HistogramSnapshot{}
+	}
+	return *f.Series[0].Histogram
+}
+
+// escapeHelp escapes a HELP string per the exposition format.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation.
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// labelString renders {k="v",...}; extra appends one more pair (the
+// histogram le label). Empty label sets render as "".
+func labelString(names, values []string, extraKey, extraVal string) string {
+	if len(names) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, n, escapeLabel(values[i]))
+	}
+	if extraKey != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteTo renders the snapshot in Prometheus text exposition format 0.0.4.
+// Output is byte-deterministic for equal snapshots.
+func (s Snapshot) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	for _, f := range s.Families {
+		if len(f.Series) == 0 {
+			continue
+		}
+		fmt.Fprintf(cw, "# HELP %s %s\n", f.Name, escapeHelp(f.Help))
+		fmt.Fprintf(cw, "# TYPE %s %s\n", f.Name, f.Kind)
+		for _, sr := range f.Series {
+			if f.Kind == KindHistogram && sr.Histogram != nil {
+				h := sr.Histogram
+				var cum uint64
+				for i, b := range h.Bounds {
+					cum += h.Counts[i]
+					fmt.Fprintf(cw, "%s_bucket%s %d\n", f.Name,
+						labelString(f.LabelNames, sr.LabelValues, "le", formatFloat(b)), cum)
+				}
+				fmt.Fprintf(cw, "%s_bucket%s %d\n", f.Name,
+					labelString(f.LabelNames, sr.LabelValues, "le", "+Inf"), h.Count)
+				fmt.Fprintf(cw, "%s_sum%s %s\n", f.Name,
+					labelString(f.LabelNames, sr.LabelValues, "", ""), formatFloat(h.Sum))
+				fmt.Fprintf(cw, "%s_count%s %d\n", f.Name,
+					labelString(f.LabelNames, sr.LabelValues, "", ""), h.Count)
+				continue
+			}
+			fmt.Fprintf(cw, "%s%s %d\n", f.Name,
+				labelString(f.LabelNames, sr.LabelValues, "", ""), sr.Value)
+		}
+	}
+	return cw.n, cw.err
+}
+
+type countingWriter struct {
+	w   io.Writer
+	n   int64
+	err error
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	if c.err != nil {
+		return 0, c.err
+	}
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	c.err = err
+	return n, err
+}
+
+// WritePrometheus snapshots the registry and renders it in Prometheus text
+// exposition format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	_, err := r.Snapshot().WriteTo(w)
+	return err
+}
+
+// String renders the exposition text (for tests and debugging).
+func (s Snapshot) String() string {
+	var b strings.Builder
+	s.WriteTo(&b)
+	return b.String()
+}
+
+// Summary renders a compact human-readable table of the snapshot: one line
+// per series, histograms summarized as count/mean/p50/p95/p99. Zero-valued
+// counters and gauges are kept — an explicit zero reads differently from an
+// absent metric.
+func (s Snapshot) Summary() string {
+	var b strings.Builder
+	for _, f := range s.Families {
+		for _, sr := range f.Series {
+			name := f.Name + labelString(f.LabelNames, sr.LabelValues, "", "")
+			if f.Kind == KindHistogram && sr.Histogram != nil {
+				h := sr.Histogram
+				mean := 0.0
+				if h.Count > 0 {
+					mean = h.Sum / float64(h.Count)
+				}
+				fmt.Fprintf(&b, "%-64s count=%d mean=%.3g p50=%.3g p95=%.3g p99=%.3g\n",
+					name, h.Count, mean, h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99))
+				continue
+			}
+			fmt.Fprintf(&b, "%-64s %d\n", name, sr.Value)
+		}
+	}
+	return b.String()
+}
+
+// MergeSnapshots folds snapshots from many registries into one fleet-style
+// view: counter and gauge series with the same identity sum their values,
+// and histograms with identical bounds sum their buckets. Use it to
+// aggregate per-Doctor registries across a sweep. Mismatched kinds or
+// bucket layouts under one name panic — that is a naming bug, not data.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	type skey struct {
+		fam string
+		key string
+	}
+	famOrder := []string{}
+	fams := map[string]*Family{}
+	idx := map[skey]int{}
+	for _, sn := range snaps {
+		for _, f := range sn.Families {
+			mf, ok := fams[f.Name]
+			if !ok {
+				nf := Family{Name: f.Name, Help: f.Help, Kind: f.Kind,
+					LabelNames: append([]string(nil), f.LabelNames...)}
+				fams[f.Name] = &nf
+				famOrder = append(famOrder, f.Name)
+				mf = fams[f.Name]
+			} else if mf.Kind != f.Kind {
+				panic(fmt.Sprintf("obs: merge of %q with conflicting kinds", f.Name))
+			}
+			for _, sr := range f.Series {
+				k := skey{f.Name, seriesKey(sr.LabelValues)}
+				i, ok := idx[k]
+				if !ok {
+					idx[k] = len(mf.Series)
+					cp := Series{LabelValues: append([]string(nil), sr.LabelValues...), Value: sr.Value}
+					if sr.Histogram != nil {
+						h := *sr.Histogram
+						h.Bounds = append([]float64(nil), sr.Histogram.Bounds...)
+						h.Counts = append([]uint64(nil), sr.Histogram.Counts...)
+						cp.Histogram = &h
+					}
+					mf.Series = append(mf.Series, cp)
+					continue
+				}
+				dst := &mf.Series[i]
+				if sr.Histogram != nil {
+					if dst.Histogram == nil || !equalBounds(dst.Histogram.Bounds, sr.Histogram.Bounds) {
+						panic(fmt.Sprintf("obs: merge of %q with conflicting buckets", f.Name))
+					}
+					for j := range sr.Histogram.Counts {
+						dst.Histogram.Counts[j] += sr.Histogram.Counts[j]
+					}
+					dst.Histogram.Count += sr.Histogram.Count
+					dst.Histogram.Sum += sr.Histogram.Sum
+					continue
+				}
+				dst.Value += sr.Value
+			}
+		}
+	}
+	sort.Strings(famOrder)
+	out := Snapshot{Families: make([]Family, 0, len(famOrder))}
+	for _, name := range famOrder {
+		f := fams[name]
+		sort.Slice(f.Series, func(i, j int) bool {
+			return seriesKey(f.Series[i].LabelValues) < seriesKey(f.Series[j].LabelValues)
+		})
+		out.Families = append(out.Families, *f)
+	}
+	return out
+}
