@@ -8,10 +8,18 @@
 // Usage:
 //
 //	fleetd -addr :8717 -shards 8 -queue 1024
+//	fleetd -addr :8717 -wal-dir /var/lib/fleetd/wal -wal-sync batch
+//
+// With -wal-dir set, ingestion is durable: a 202 means the upload reached
+// a per-shard write-ahead log and survives a crash; on boot the WAL
+// directory is replayed (snapshot plus log tail) before intake opens, and
+// a torn final record — the signature of dying mid-append — is truncated,
+// never fatal.
 //
 // On SIGINT/SIGTERM the server stops accepting connections, drains every
-// upload it already acknowledged, and prints the final fleet report to
-// stdout before exiting.
+// upload it already acknowledged (writing one final compacted snapshot
+// per shard when durable), and prints the final fleet report to stdout
+// before exiting.
 package main
 
 import (
@@ -36,9 +44,34 @@ func main() {
 	batch := flag.Int("batch", 16, "max fragments folded per shard merge")
 	retryAfter := flag.Duration("retry-after", time.Second, "backoff advertised on 429 responses")
 	printFinal := flag.Bool("print-final", true, "print the folded fleet report on shutdown")
+	walDir := flag.String("wal-dir", "", "durable mode: per-shard WAL directory (empty = memory-only)")
+	walSync := flag.String("wal-sync", "batch", "WAL durability barrier: always | batch | off")
+	compactEvery := flag.Int("compact-every", 4096, "snapshot-compact a shard log after this many records")
 	flag.Parse()
 
-	agg := fleet.NewAggregator(fleet.Config{Shards: *shards, QueueDepth: *queue, BatchSize: *batch})
+	cfg := fleet.Config{Shards: *shards, QueueDepth: *queue, BatchSize: *batch}
+	if *walDir != "" {
+		sync, err := fleet.ParseSyncPolicy(*walSync)
+		if err != nil {
+			log.Fatalf("fleetd: %v", err)
+		}
+		cfg.WAL = &fleet.WALConfig{Dir: *walDir, Sync: sync, CompactEvery: *compactEvery}
+	}
+	agg, err := fleet.Open(cfg)
+	if err != nil {
+		// Refusing to start beats silently dropping compacted state: the
+		// operator decides whether to restore or discard the directory.
+		log.Fatalf("fleetd: recovery failed: %v", err)
+	}
+	if agg.Durable() {
+		snap := agg.Metrics().Registry().Snapshot()
+		log.Printf("fleetd recovered WAL %s: replayed_records=%d truncated_tails=%d corrupt_records=%d compactions=%d",
+			*walDir,
+			snap.Value("hangdoctor_fleet_wal_replayed_records_total"),
+			snap.Value("hangdoctor_fleet_wal_truncated_tails_total"),
+			snap.Value("hangdoctor_fleet_wal_corrupt_records_total"),
+			snap.Value("hangdoctor_fleet_wal_compactions_total"))
+	}
 	fs := fleet.NewServer(agg)
 	fs.RetryAfter = *retryAfter
 	srv := &http.Server{Addr: *addr, Handler: fs.Handler()}

@@ -26,6 +26,7 @@ import (
 	"hangdoctor/internal/core"
 	"hangdoctor/internal/fleet"
 	"hangdoctor/internal/obs"
+	"hangdoctor/internal/simrand"
 )
 
 func main() {
@@ -36,13 +37,14 @@ func main() {
 	entries := flag.Int("entries", 120, "diagnosed root causes per upload")
 	conc := flag.Int("conc", 16, "concurrent senders")
 	seed := flag.Int64("seed", 1, "base PRNG seed for synthetic uploads")
+	maxRetries := flag.Int("max-retries", 8, "give up on an upload after this many 429 retries")
 	flag.Parse()
 
 	switch {
 	case *inproc:
 		runInproc(*sweep, *uploads, *entries, *conc, *seed)
 	case *url != "":
-		runHTTP(*url, *uploads, *entries, *conc, *seed)
+		runHTTP(*url, *uploads, *entries, *conc, *seed, *maxRetries)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: fleetload -url <fleetd> | fleetload -inproc [-sweep 1,2,4,8]")
 		os.Exit(2)
@@ -64,7 +66,7 @@ func payloads(uploads, entries int, seed int64) [][]byte {
 	return out
 }
 
-func runHTTP(base string, uploads, entries, conc int, seed int64) {
+func runHTTP(base string, uploads, entries, conc int, seed int64, maxRetries int) {
 	docs := payloads(uploads, entries, seed)
 	// The loader's own accounting lives in an obs registry: lock-free
 	// counters for the senders, a latency histogram for the per-POST round
@@ -81,10 +83,13 @@ func runHTTP(base string, uploads, entries, conc int, seed int64) {
 	start := time.Now()
 	for w := 0; w < conc; w++ {
 		wg.Add(1)
+		// Each sender jitters its backoff from a private derived stream, so
+		// retries stay reproducible per seed without sharing a lock.
+		rng := simrand.New(uint64(seed)).Derive("fleetload/retry").Derive(strconv.Itoa(w))
 		go func() {
 			defer wg.Done()
 			for doc := range next {
-				for {
+				for retries := 0; ; retries++ {
 					t0 := time.Now()
 					resp, err := client.Post(base+"/v1/upload", "application/json", bytes.NewReader(doc))
 					if err != nil {
@@ -95,13 +100,22 @@ func runHTTP(base string, uploads, entries, conc int, seed int64) {
 					resp.Body.Close()
 					latency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
 					if resp.StatusCode == http.StatusTooManyRequests {
-						// Honor the server's backpressure and retry.
+						if retries >= maxRetries {
+							// Persistent backpressure: give up rather than
+							// hammer a server that keeps saying no.
+							failed.Inc()
+							break
+						}
+						// Honor the server's backpressure, jittering around the
+						// advertised delay (uniform in [base/2, base*3/2)) so a
+						// throttled cohort does not retry in lockstep and
+						// re-create the very spike that throttled it.
 						throttled.Inc()
 						delay := time.Second
 						if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
 							delay = time.Duration(ra) * time.Second
 						}
-						time.Sleep(delay)
+						time.Sleep(delay/2 + time.Duration(rng.Int63n(int64(delay))))
 						continue
 					}
 					if resp.StatusCode == http.StatusAccepted {

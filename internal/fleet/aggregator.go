@@ -11,6 +11,11 @@
 // byte-identical to a serial merge of the same uploads regardless of shard
 // count, batch boundaries, or arrival order — the property the determinism
 // tests pin down.
+//
+// With a WALConfig the aggregator is also durable: each shard appends its
+// fragments to a private append-only log (see wal.go), acknowledgements
+// wait for the durability barrier, startup replays snapshot-then-tail
+// before intake opens, and a crash loses nothing it acknowledged.
 package fleet
 
 import (
@@ -19,12 +24,13 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"hangdoctor/internal/core"
 )
 
-// Errors Submit can return.
+// Errors the submit paths can return.
 var (
 	// ErrQueueFull means the intake queue is at capacity; the caller should
 	// back off and retry (the HTTP layer maps it to 429 + Retry-After).
@@ -32,6 +38,10 @@ var (
 	// ErrClosed means the aggregator is shutting down and accepts no more
 	// uploads (mapped to 503).
 	ErrClosed = errors.New("fleet: aggregator closed")
+	// ErrCrashed means the aggregator was torn down abruptly (the chaos
+	// path) while the submission was in flight; the upload was not
+	// acknowledged and should be resent after recovery.
+	ErrCrashed = errors.New("fleet: aggregator crashed")
 )
 
 // Config parameterizes an Aggregator. The zero value is completed by
@@ -45,13 +55,16 @@ type Config struct {
 	QueueDepth int
 	// BatchSize is the most fragments a shard folds per merge call; batching
 	// amortizes per-wakeup overhead under load without adding latency when
-	// idle (default 16).
+	// idle (default 16). With a WAL it is also the group-commit window.
 	BatchSize int
 	// Dispatchers is the number of goroutines splitting queued uploads into
 	// per-shard fragments; splitting hashes every entry, so it must scale
 	// alongside the shards or it becomes the serial bottleneck (default:
 	// max(Shards, GOMAXPROCS/2)).
 	Dispatchers int
+	// WAL, when non-nil, enables the durability layer: per-shard
+	// append-only logs with snapshot compaction and replay-on-open.
+	WAL *WALConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +83,9 @@ func (c Config) withDefaults() Config {
 			c.Dispatchers = half
 		}
 	}
+	if c.WAL != nil {
+		c.WAL = c.WAL.withDefaults()
+	}
 	return c
 }
 
@@ -81,10 +97,57 @@ type ShardStats struct {
 	Health  core.Health
 }
 
+// upload is one queued submission: the report, its content-hash identity
+// (zero until a dispatcher computes it, when a WAL needs one), and the
+// optional durability ack.
+type upload struct {
+	rep *core.Report
+	id  UploadID
+	ack *uploadAck
+}
+
+// uploadAck gathers per-shard outcomes for one durable submission: done
+// closes once every routed fragment has either become durable, been
+// deduplicated, or failed; err holds the first failure.
+type uploadAck struct {
+	remaining atomic.Int32
+	mu        sync.Mutex
+	err       error
+	done      chan struct{}
+}
+
+func newUploadAck() *uploadAck { return &uploadAck{done: make(chan struct{})} }
+
+// complete records one fragment outcome; the last one releases the waiter.
+func (a *uploadAck) complete(err error) {
+	if a == nil {
+		return
+	}
+	if err != nil {
+		a.mu.Lock()
+		if a.err == nil {
+			a.err = err
+		}
+		a.mu.Unlock()
+	}
+	if a.remaining.Add(-1) == 0 {
+		close(a.done)
+	}
+}
+
+func (a *uploadAck) firstErr() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
 // shardMsg is the only thing that crosses into a shard goroutine: either a
-// fragment to merge or a control request (exactly one field is set).
+// fragment to merge (with its upload identity and ack) or a control
+// request (exactly one of frag/stats/snap is set).
 type shardMsg struct {
 	frag  *core.Report
+	id    UploadID
+	ack   *uploadAck
 	stats chan ShardStats
 	snap  chan *core.Report
 }
@@ -92,12 +155,18 @@ type shardMsg struct {
 // Aggregator is the sharded fleet-report builder.
 type Aggregator struct {
 	cfg     Config
-	intake  chan *core.Report
+	intake  chan *upload
 	shards  []chan shardMsg
 	metrics *Metrics
+	walM    *walMetrics // nil when the WAL is disabled
+
+	// crashCh closes on Crash(): every blocked send, ack wait, and shard
+	// loop unwinds through it.
+	crashCh chan struct{}
 
 	mu        sync.RWMutex
 	closed    bool // no further Submits
+	crashed   bool // torn down abruptly; shard state abandoned
 	finalized bool // shards exited; finals hold their reports
 	finals    []*core.Report
 
@@ -105,28 +174,67 @@ type Aggregator struct {
 	shardWG    sync.WaitGroup
 }
 
-// NewAggregator starts the shard and dispatcher goroutines and returns an
-// aggregator ready for Submit. Call Close to drain and stop it.
-func NewAggregator(cfg Config) *Aggregator {
+// Open starts the shard and dispatcher goroutines and returns an
+// aggregator ready for Submit. With cfg.WAL set, every shard first
+// replays its snapshot and log tail — Open does not return (and intake
+// does not open) until recovery is complete, and recovery failures are
+// returned here. Call Close to drain and stop the aggregator.
+func Open(cfg Config) (*Aggregator, error) {
 	cfg = cfg.withDefaults()
 	a := &Aggregator{
 		cfg:     cfg,
-		intake:  make(chan *core.Report, cfg.QueueDepth),
+		intake:  make(chan *upload, cfg.QueueDepth),
 		shards:  make([]chan shardMsg, cfg.Shards),
 		finals:  make([]*core.Report, cfg.Shards),
 		metrics: newMetrics(cfg.QueueDepth),
+		crashCh: make(chan struct{}),
+	}
+	if cfg.WAL != nil {
+		if cfg.WAL.Dir == "" {
+			return nil, errors.New("fleet: WALConfig.Dir must be set")
+		}
+		a.walM = a.metrics.initWAL()
 	}
 	a.metrics.reg.GaugeFunc("hangdoctor_fleet_queue_depth",
 		"Current intake backlog.",
 		func() int64 { return int64(len(a.intake)) })
+	ready := make(chan error, cfg.Shards)
 	for i := range a.shards {
 		a.shards[i] = make(chan shardMsg, 2*cfg.BatchSize)
 		a.shardWG.Add(1)
-		go a.runShard(i)
+		go a.runShard(i, ready)
+	}
+	var firstErr error
+	for i := 0; i < cfg.Shards; i++ {
+		if err := <-ready; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		// Recovery failed somewhere: unwind the healthy shards and report.
+		a.mu.Lock()
+		a.closed, a.finalized = true, true
+		close(a.intake)
+		for _, ch := range a.shards {
+			close(ch)
+		}
+		a.mu.Unlock()
+		a.shardWG.Wait()
+		return nil, firstErr
 	}
 	for i := 0; i < cfg.Dispatchers; i++ {
 		a.dispatchWG.Add(1)
 		go a.runDispatcher()
+	}
+	return a, nil
+}
+
+// NewAggregator is Open for configurations that cannot fail (no WAL); it
+// panics on error, which only a WAL-enabled config can produce.
+func NewAggregator(cfg Config) *Aggregator {
+	a, err := Open(cfg)
+	if err != nil {
+		panic(err)
 	}
 	return a
 }
@@ -139,6 +247,17 @@ func (a *Aggregator) QueueDepth() int { return len(a.intake) }
 
 // Metrics returns the aggregator's counters.
 func (a *Aggregator) Metrics() *Metrics { return a.metrics }
+
+// Durable reports whether the WAL layer is enabled.
+func (a *Aggregator) Durable() bool { return a.cfg.WAL != nil }
+
+// Draining reports whether shutdown (or a crash) has begun: Submits are
+// refused and /healthz should answer 503.
+func (a *Aggregator) Draining() bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.closed
+}
 
 // AggregatorSnapshot is one consistent read of the aggregator's state:
 // the ingestion counters (with the merge triple read atomically), the
@@ -225,7 +344,9 @@ func (a *Aggregator) scrape() {
 // Submit enqueues one validated upload without blocking. It returns
 // ErrQueueFull when the bounded queue is at capacity and ErrClosed after
 // Close; on success the report is owned by the aggregator (callers must not
-// mutate it afterwards).
+// mutate it afterwards). With a WAL the fragments are logged durably in the
+// background but Submit does not wait for the barrier — use SubmitDurable
+// when the acknowledgement must imply durability.
 func (a *Aggregator) Submit(rep *core.Report) error {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
@@ -234,7 +355,7 @@ func (a *Aggregator) Submit(rep *core.Report) error {
 		return ErrClosed
 	}
 	select {
-	case a.intake <- rep:
+	case a.intake <- &upload{rep: rep}:
 		a.metrics.accepted.Inc()
 		return nil
 	default:
@@ -253,9 +374,47 @@ func (a *Aggregator) SubmitWait(rep *core.Report) error {
 		a.metrics.rejected.Inc()
 		return ErrClosed
 	}
-	a.intake <- rep
+	a.intake <- &upload{rep: rep}
 	a.metrics.accepted.Inc()
 	return nil
+}
+
+// SubmitDurable enqueues one upload and waits until every routed fragment
+// is durable per the WAL's sync policy (or, without a WAL, merged). id is
+// the upload's content hash (ComputeUploadID over the raw document, or
+// ReportUploadID); fragments of an id the shards have already made durable
+// are skipped, so resending after a crash, a 5xx, or a lost response is
+// idempotent. Queue-full still fails fast with ErrQueueFull.
+func (a *Aggregator) SubmitDurable(rep *core.Report, id UploadID) error {
+	ack := newUploadAck()
+	a.mu.RLock()
+	if a.closed {
+		a.mu.RUnlock()
+		a.metrics.rejected.Inc()
+		return ErrClosed
+	}
+	u := &upload{rep: rep, id: id, ack: ack}
+	select {
+	case a.intake <- u:
+		a.metrics.accepted.Inc()
+	default:
+		a.mu.RUnlock()
+		a.metrics.rejected.Inc()
+		return ErrQueueFull
+	}
+	a.mu.RUnlock()
+	select {
+	case <-ack.done:
+		return ack.firstErr()
+	case <-a.crashCh:
+		// The ack may still land; prefer it if it already has.
+		select {
+		case <-ack.done:
+			return ack.firstErr()
+		default:
+			return ErrCrashed
+		}
+	}
 }
 
 // runDispatcher splits queued uploads into per-shard fragments. Several
@@ -264,25 +423,82 @@ func (a *Aggregator) SubmitWait(rep *core.Report) error {
 // because fragment routing is order-independent under a commutative merge.
 func (a *Aggregator) runDispatcher() {
 	defer a.dispatchWG.Done()
-	for rep := range a.intake {
-		for i, frag := range rep.Split(a.cfg.Shards) {
+	durable := a.cfg.WAL != nil
+	for u := range a.intake {
+		if durable && u.id == (UploadID{}) {
+			// Non-durable submit on a durable aggregator: the log record
+			// still needs an identity, derived here off the hot Submit path.
+			id, err := ReportUploadID(u.rep)
+			if err == nil {
+				u.id = id
+			}
+		}
+		frags := u.rep.Split(a.cfg.Shards)
+		if u.ack != nil {
+			n := 0
+			for _, frag := range frags {
+				if frag != nil {
+					n++
+				}
+			}
+			if n == 0 {
+				close(u.ack.done)
+				continue
+			}
+			// The count must be set before the first fragment can complete.
+			u.ack.remaining.Store(int32(n))
+		}
+		for i, frag := range frags {
 			if frag == nil {
 				continue
 			}
-			a.shards[i] <- shardMsg{frag: frag}
+			select {
+			case a.shards[i] <- shardMsg{frag: frag, id: u.id, ack: u.ack}:
+			case <-a.crashCh:
+				return
+			}
 		}
 	}
 }
 
+// pendingFrag is one fragment of the in-flight shard batch, kept with its
+// identity and ack until the durability barrier decides its fate.
+type pendingFrag struct {
+	frag *core.Report
+	id   UploadID
+	ack  *uploadAck
+}
+
 // runShard is a single-writer merge loop: only this goroutine ever touches
-// its core.Report. Fragments are drained in batches of up to BatchSize per
-// merge call; control messages (stats/snapshot) are answered between
-// batches, so they observe merge-complete states only.
-func (a *Aggregator) runShard(i int) {
+// its core.Report or its WAL. With a WAL it first recovers its state
+// (snapshot, then log tail — truncating a torn final record), reporting
+// readiness on ready; fragments are then appended to the log and only
+// merged once durable per the sync policy, so the in-memory report (and
+// therefore every snapshot compaction) never gets ahead of the disk.
+// Fragments are drained in batches of up to BatchSize per merge call — one
+// group-commit barrier per batch — and control messages (stats/snapshot)
+// are answered between batches, so they observe merge-complete states only.
+func (a *Aggregator) runShard(i int, ready chan<- error) {
 	defer a.shardWG.Done()
+	var w *shardWAL
 	rep := core.NewReport()
+	if a.cfg.WAL != nil {
+		var err error
+		w, rep, _, err = openShardWAL(a.cfg.WAL, i, a.cfg.Shards, a.walM)
+		ready <- err
+		if err != nil {
+			// Open unwinds everything; just drain our channel until then.
+			for range a.shards[i] {
+			}
+			return
+		}
+		defer w.close()
+	} else {
+		ready <- nil
+	}
+
 	ch := a.shards[i]
-	batch := make([]*core.Report, 0, a.cfg.BatchSize)
+	batch := make([]pendingFrag, 0, a.cfg.BatchSize)
 	ctrl := make([]shardMsg, 0, 4)
 	serve := func(m shardMsg) {
 		switch {
@@ -292,12 +508,32 @@ func (a *Aggregator) runShard(i int) {
 			m.snap <- rep.Clone()
 		}
 	}
-	for msg := range ch {
+	for {
+		var msg shardMsg
+		var ok bool
+		select {
+		case <-a.crashCh:
+			// Abandoned abruptly: no final compaction, no acks. Whatever
+			// the log holds is what recovery will see.
+			return
+		case msg, ok = <-ch:
+			if !ok {
+				// Clean drain: write one final compacted snapshot so the
+				// next boot replays a snapshot instead of the whole tail.
+				if w != nil && (w.records > 0 || w.dirty) {
+					if err := w.compact(rep); err != nil {
+						fmt.Printf("fleet: shard %d final compaction failed (tail remains replayable): %v\n", i, err)
+					}
+				}
+				a.finals[i] = rep
+				return
+			}
+		}
 		if msg.frag == nil {
 			serve(msg)
 			continue
 		}
-		batch = append(batch[:0], msg.frag)
+		batch = append(batch[:0], pendingFrag{msg.frag, msg.id, msg.ack})
 		ctrl = ctrl[:0]
 	drain:
 		for len(batch) < a.cfg.BatchSize {
@@ -311,19 +547,110 @@ func (a *Aggregator) runShard(i int) {
 					ctrl = append(ctrl, m2)
 					break drain
 				}
-				batch = append(batch, m2.frag)
+				batch = append(batch, pendingFrag{m2.frag, m2.id, m2.ack})
 			default:
 				break drain
 			}
 		}
-		start := time.Now()
-		rep.Merge(batch...)
-		a.metrics.noteMerge(len(batch), time.Since(start))
+		a.processBatch(w, rep, batch)
 		for _, m2 := range ctrl {
 			serve(m2)
 		}
+		if w != nil && w.records >= a.cfg.WAL.CompactEvery {
+			if err := w.compact(rep); err != nil {
+				// The old log is intact; keep appending to it and let the
+				// next batch retry. appendErrors already counted barriers.
+				fmt.Printf("fleet: shard %d compaction failed (will retry): %v\n", i, err)
+			}
+		}
 	}
-	a.finals[i] = rep
+}
+
+// processBatch makes one batch of fragments durable and merges the
+// survivors. Without a WAL every fragment survives. With one:
+//
+//  1. fragments whose upload ID is already durable are skipped (acked as
+//     success — the previous append is the durability);
+//  2. survivors are appended to the log; an append failure nacks just
+//     that fragment (the tail is repaired before the next append);
+//  3. one barrier covers the batch (group commit; SyncAlways moves the
+//     barrier inside the loop). A failed barrier rolls the log back to
+//     the last durable watermark and nacks the whole batch;
+//  4. only fragments that made it through the barrier are merged into
+//     the in-memory report and remembered for dedup — the report never
+//     contains state the log could lose.
+func (a *Aggregator) processBatch(w *shardWAL, rep *core.Report, batch []pendingFrag) {
+	if w == nil {
+		frags := make([]*core.Report, len(batch))
+		for i, pf := range batch {
+			frags[i] = pf.frag
+		}
+		start := time.Now()
+		rep.Merge(frags...)
+		a.metrics.noteMerge(len(frags), time.Since(start))
+		for _, pf := range batch {
+			pf.ack.complete(nil)
+		}
+		return
+	}
+
+	durable := make([]pendingFrag, 0, len(batch))
+	// Batch-local duplicate check: two sends of the same document racing
+	// into one batch must dedup exactly like one arriving after the
+	// barrier. Batches are small (BatchSize), so a linear scan is fine.
+	inBatch := func(id UploadID) bool {
+		for _, pf := range durable {
+			if pf.id == id {
+				return true
+			}
+		}
+		return false
+	}
+	for _, pf := range batch {
+		if w.dedup.has(pf.id) || inBatch(pf.id) {
+			a.walM.deduped.Inc()
+			pf.ack.complete(nil)
+			continue
+		}
+		payload, err := encodeFragment(pf.id, pf.frag)
+		if err == nil {
+			err = w.append(payload)
+		}
+		if err == nil && a.cfg.WAL.Sync == SyncAlways {
+			err = w.barrier()
+		}
+		if err != nil {
+			pf.ack.complete(err)
+			continue
+		}
+		durable = append(durable, pf)
+	}
+	if len(durable) > 0 && a.cfg.WAL.Sync != SyncAlways {
+		if err := w.barrier(); err != nil {
+			// Nothing in this batch is durable: nack everything appended
+			// (the log was rolled back to the last durable watermark).
+			for _, pf := range durable {
+				pf.ack.complete(err)
+			}
+			return
+		}
+	}
+	if len(durable) == 0 {
+		return
+	}
+	// Only now — past the barrier — does the batch enter the in-memory
+	// report and the dedup window.
+	frags := make([]*core.Report, len(durable))
+	for i, pf := range durable {
+		frags[i] = pf.frag
+		w.dedup.add(pf.id)
+	}
+	start := time.Now()
+	rep.Merge(frags...)
+	a.metrics.noteMerge(len(frags), time.Since(start))
+	for _, pf := range durable {
+		pf.ack.complete(nil)
+	}
 }
 
 // ShardStats queries every shard; after Close it reads the final reports
@@ -332,6 +659,9 @@ func (a *Aggregator) ShardStats() []ShardStats {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	out := make([]ShardStats, a.cfg.Shards)
+	if a.crashed {
+		return out
+	}
 	if a.finalized {
 		// Shard channels are closed; wait for the drain to finish (outside
 		// the lock) and read the final reports directly.
@@ -339,6 +669,9 @@ func (a *Aggregator) ShardStats() []ShardStats {
 		a.shardWG.Wait()
 		a.mu.RLock()
 		for i, rep := range a.finals {
+			if rep == nil {
+				continue
+			}
 			out[i] = ShardStats{Entries: rep.Len(), Hangs: rep.TotalHangs(), Health: rep.Health}
 		}
 		return out
@@ -346,10 +679,18 @@ func (a *Aggregator) ShardStats() []ShardStats {
 	replies := make([]chan ShardStats, a.cfg.Shards)
 	for i, ch := range a.shards {
 		replies[i] = make(chan ShardStats, 1)
-		ch <- shardMsg{stats: replies[i]}
+		select {
+		case ch <- shardMsg{stats: replies[i]}:
+		case <-a.crashCh:
+			return out
+		}
 	}
 	for i := range replies {
-		out[i] = <-replies[i]
+		select {
+		case out[i] = <-replies[i]:
+		case <-a.crashCh:
+			return out
+		}
 	}
 	return out
 }
@@ -358,12 +699,16 @@ func (a *Aggregator) ShardStats() []ShardStats {
 // one fleet report. While traffic is in flight the result is a consistent
 // merge-boundary snapshot per shard (not a global cut); once the aggregator
 // is closed and drained it is the exact fleet total, byte-identical in
-// Export/Render to a serial merge of every accepted upload.
+// Export/Render to a serial merge of every accepted upload. After a Crash
+// it returns an empty report — reopen the WAL directory to recover.
 func (a *Aggregator) Fold() *core.Report {
 	start := time.Now()
 	defer func() { a.metrics.noteFold(time.Since(start)) }()
 	a.mu.RLock()
 	defer a.mu.RUnlock()
+	if a.crashed {
+		return core.NewReport()
+	}
 	if a.finalized {
 		a.mu.RUnlock()
 		a.shardWG.Wait()
@@ -373,22 +718,35 @@ func (a *Aggregator) Fold() *core.Report {
 	replies := make([]chan *core.Report, a.cfg.Shards)
 	for i, ch := range a.shards {
 		replies[i] = make(chan *core.Report, 1)
-		ch <- shardMsg{snap: replies[i]}
+		select {
+		case ch <- shardMsg{snap: replies[i]}:
+		case <-a.crashCh:
+			return core.NewReport()
+		}
 	}
 	snaps := make([]*core.Report, a.cfg.Shards)
 	for i := range replies {
-		snaps[i] = <-replies[i]
+		select {
+		case snaps[i] = <-replies[i]:
+		case <-a.crashCh:
+			return core.NewReport()
+		}
 	}
 	return core.FoldReports(snaps...)
 }
 
 // Close drains and stops the aggregator: no new uploads are accepted, but
 // everything already queued is split and merged before Close returns, so a
-// graceful shutdown loses nothing it acknowledged. Close is idempotent.
+// graceful shutdown loses nothing it acknowledged. With a WAL, each shard
+// writes one final compacted snapshot on its way out, so a clean restart
+// replays a snapshot and an empty tail. Close is idempotent.
 func (a *Aggregator) Close() {
 	a.mu.Lock()
 	if a.closed {
 		a.mu.Unlock()
+		// Whether the first teardown was a Close or a Crash, both waitgroups
+		// terminate; wait so the WAL directory is quiescent on return.
+		a.dispatchWG.Wait()
 		a.shardWG.Wait()
 		return
 	}
@@ -409,8 +767,40 @@ func (a *Aggregator) Close() {
 	a.shardWG.Wait()
 }
 
+// Crash tears the aggregator down abruptly — no drain, no final
+// compaction, no acks: the process-kill model the crash-recovery tests
+// and the chaos harness exercise. Whatever the shard logs physically hold
+// is what a subsequent Open of the same WAL directory recovers. In-flight
+// SubmitDurable calls return ErrCrashed (their uploads are unacknowledged
+// and safe to resend). Crash is idempotent; Crash after Close is a no-op.
+func (a *Aggregator) Crash() {
+	a.mu.Lock()
+	if a.closed {
+		crashed := a.crashed
+		a.mu.Unlock()
+		if crashed {
+			// A concurrent Crash won the race; wait out its teardown so no
+			// shard goroutine is still touching the WAL directory when this
+			// call returns (callers immediately reopen that directory).
+			a.dispatchWG.Wait()
+			a.shardWG.Wait()
+		}
+		return
+	}
+	a.closed, a.crashed, a.finalized = true, true, true
+	close(a.crashCh)
+	close(a.intake)
+	a.mu.Unlock()
+	a.dispatchWG.Wait()
+	a.shardWG.Wait()
+}
+
 // String describes the aggregator's shape for logs.
 func (a *Aggregator) String() string {
-	return fmt.Sprintf("fleet.Aggregator{shards=%d queue=%d batch=%d dispatchers=%d}",
-		a.cfg.Shards, a.cfg.QueueDepth, a.cfg.BatchSize, a.cfg.Dispatchers)
+	wal := "off"
+	if a.cfg.WAL != nil {
+		wal = fmt.Sprintf("dir=%s sync=%s compact-every=%d", a.cfg.WAL.Dir, a.cfg.WAL.Sync, a.cfg.WAL.CompactEvery)
+	}
+	return fmt.Sprintf("fleet.Aggregator{shards=%d queue=%d batch=%d dispatchers=%d wal=%s}",
+		a.cfg.Shards, a.cfg.QueueDepth, a.cfg.BatchSize, a.cfg.Dispatchers, wal)
 }

@@ -256,6 +256,22 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Errorf("GET upload status %d, want 405", resp.StatusCode)
 	}
 
+	// Before shutdown begins, /healthz is 200 "ok".
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hzLive struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&hzLive); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || hzLive.Status != "ok" {
+		t.Errorf("live healthz = %d %q, want 200 ok", resp.StatusCode, hzLive.Status)
+	}
+
 	agg.Close() // quiesce so the report is the exact total
 	serial := core.NewReport()
 	serial.Merge(reps...)
@@ -282,6 +298,8 @@ func TestServerEndToEnd(t *testing.T) {
 		t.Error("text report missing table header")
 	}
 
+	// Once Close has begun, /healthz flips to 503 "draining" so load
+	// balancers stop routing here.
 	if resp, err = http.Get(ts.URL + "/healthz"); err != nil {
 		t.Fatal(err)
 	}
@@ -293,8 +311,11 @@ func TestServerEndToEnd(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
 		t.Fatal(err)
 	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining healthz status code = %d, want 503", resp.StatusCode)
+	}
 	resp.Body.Close()
-	if hz.Status != "ok" || hz.Shards != 4 || hz.Accepted != int64(len(reps)) {
+	if hz.Status != "draining" || hz.Shards != 4 || hz.Accepted != int64(len(reps)) {
 		t.Errorf("healthz = %+v", hz)
 	}
 

@@ -36,6 +36,59 @@ type Metrics struct {
 	mergeNs         int64
 
 	queueCap int
+
+	// wal holds the durability-layer families; nil until initWAL (so a
+	// memory-only aggregator's exposition carries no wal series).
+	wal *walMetrics
+}
+
+// walMetrics is the durability layer's accounting: appends and the bytes
+// and fsyncs behind them, compactions, and the recovery-side counters
+// (replayed records, truncated tails, corrupt records, replay latency).
+// All counters are lock-free obs counters bumped from shard goroutines.
+type walMetrics struct {
+	appended       *obs.Counter
+	bytesWritten   *obs.Counter
+	fsyncs         *obs.Counter
+	appendErrors   *obs.Counter
+	deduped        *obs.Counter
+	compactions    *obs.Counter
+	replayed       *obs.Counter
+	truncatedTails *obs.Counter
+	corruptRecords *obs.Counter
+	replayLatency  *obs.Histogram
+}
+
+// initWAL registers the durability families (idempotent) and returns them.
+func (m *Metrics) initWAL() *walMetrics {
+	if m.wal != nil {
+		return m.wal
+	}
+	reg := m.reg
+	m.wal = &walMetrics{
+		appended: reg.Counter("hangdoctor_fleet_wal_records_appended_total",
+			"Fragment records appended to shard logs."),
+		bytesWritten: reg.Counter("hangdoctor_fleet_wal_bytes_written_total",
+			"Framed bytes appended to shard logs."),
+		fsyncs: reg.Counter("hangdoctor_fleet_wal_fsyncs_total",
+			"Durability barriers issued on shard logs."),
+		appendErrors: reg.Counter("hangdoctor_fleet_wal_append_errors_total",
+			"Failed appends or barriers (the upload was not acknowledged)."),
+		deduped: reg.Counter("hangdoctor_fleet_wal_fragments_deduped_total",
+			"Fragments skipped because their upload was already durable (resend after crash or 5xx)."),
+		compactions: reg.Counter("hangdoctor_fleet_wal_compactions_total",
+			"Snapshot compactions (log rotations)."),
+		replayed: reg.Counter("hangdoctor_fleet_wal_replayed_records_total",
+			"Fragment records replayed from log tails at startup."),
+		truncatedTails: reg.Counter("hangdoctor_fleet_wal_truncated_tails_total",
+			"Torn or trailing-garbage log tails truncated during recovery or repair."),
+		corruptRecords: reg.Counter("hangdoctor_fleet_wal_corrupt_records_total",
+			"Mid-log records failing CRC or decode (prefix salvaged)."),
+		replayLatency: reg.Histogram("hangdoctor_fleet_wal_replay_latency_ns",
+			"Wall time of one shard's snapshot-plus-tail replay.",
+			obs.ExpBuckets(4096, 4, 14)),
+	}
+	return m.wal
 }
 
 func newMetrics(queueCap int) *Metrics {

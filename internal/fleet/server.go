@@ -1,8 +1,11 @@
 package fleet
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -48,27 +51,48 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "upload requires POST", http.StatusMethodNotAllowed)
 		return
 	}
-	rep, err := core.ImportReport(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
-	if err != nil {
-		s.agg.Metrics().NoteInvalid()
-		http.Error(w, fmt.Sprintf("invalid report: %v", err), http.StatusBadRequest)
-		return
+	var err error
+	var rep *core.Report
+	if s.agg.Durable() {
+		// On a durable aggregator 202 means "on disk": hash the raw body
+		// into the upload's identity (so a client retry of the same
+		// document is idempotent), then wait for the WAL barrier.
+		body, rerr := io.ReadAll(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+		if rerr != nil {
+			s.agg.Metrics().NoteInvalid()
+			http.Error(w, fmt.Sprintf("invalid report: %v", rerr), http.StatusBadRequest)
+			return
+		}
+		rep, err = core.ImportReport(bytes.NewReader(body))
+		if err == nil {
+			err = s.agg.SubmitDurable(rep, ComputeUploadID(body))
+		}
+	} else {
+		rep, err = core.ImportReport(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
+		if err == nil {
+			err = s.agg.Submit(rep)
+		}
 	}
-	switch err := s.agg.Submit(rep); err {
-	case nil:
+	switch {
+	case err == nil:
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(map[string]any{
 			"status": "accepted", "entries": rep.Len(), "hangs": rep.TotalHangs(),
 		})
-	case ErrQueueFull:
+	case rep == nil:
+		s.agg.Metrics().NoteInvalid()
+		http.Error(w, fmt.Sprintf("invalid report: %v", err), http.StatusBadRequest)
+	case errors.Is(err, ErrQueueFull):
 		// Backpressure: the device should retry after a pause instead of the
 		// server buffering without bound.
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.RetryAfter+time.Second-1)/time.Second)))
 		http.Error(w, "ingest queue full, retry later", http.StatusTooManyRequests)
-	case ErrClosed:
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrCrashed):
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
 	default:
+		// A durability failure (failed append or barrier): the upload was
+		// not acknowledged and the same document can safely be resent.
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 	}
 }
@@ -93,10 +117,18 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	// Once Close (or Crash) has begun the server can no longer accept
+	// uploads; report that as 503 "draining" so load balancers stop
+	// routing to it instead of reading an unconditional "ok".
+	status, code := "ok", http.StatusOK
+	if s.agg.Draining() {
+		status, code = "draining", http.StatusServiceUnavailable
+	}
 	snap := s.agg.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
-		"status":         "ok",
+		"status":         status,
 		"shards":         s.agg.Shards(),
 		"queue_depth":    snap.QueueDepth,
 		"queue_capacity": snap.QueueCapacity,
