@@ -1,0 +1,158 @@
+// Command fleet-agg is the regional tier above fleetd: it polls N fleetd
+// nodes' /v1/snapshot (canonical binary fold) and /metrics/snapshot (obs
+// registry) endpoints and serves the folded regional view. Because node
+// snapshots fold with the same commutative merge that folds a node's
+// shards, the regional report is byte-identical to a single fleetd having
+// ingested every upload itself — which is how a deployment scales ingest
+// horizontally without changing what the report says.
+//
+// Usage:
+//
+//	fleet-agg -nodes http://10.0.0.1:8717,http://10.0.0.2:8717 -addr :8718
+//
+// Endpoints:
+//
+//	GET /v1/report    — the folded regional report (text, or ?format=json)
+//	GET /v1/snapshot  — the folded regional report in canonical binary form
+//	                    (fleet-agg tiers compose: a super-region can fold
+//	                    regions the same way)
+//	GET /metrics      — the merged node registries, Prometheus text
+//	GET /healthz      — last poll status per node
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"hangdoctor/internal/core"
+	"hangdoctor/internal/fleet"
+	"hangdoctor/internal/obs"
+)
+
+// state is the last successful poll, swapped atomically under the mutex so
+// readers never see a half-updated region.
+type state struct {
+	mu      sync.RWMutex
+	rep     *core.Report
+	metrics obs.Snapshot
+	polled  time.Time
+	err     error
+}
+
+func (s *state) set(rep *core.Report, m obs.Snapshot, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err == nil {
+		s.rep, s.metrics, s.polled = rep, m, time.Now()
+	}
+	s.err = err
+}
+
+func (s *state) get() (*core.Report, obs.Snapshot, time.Time, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	rep := s.rep
+	if rep == nil {
+		rep = core.NewReport()
+	}
+	return rep, s.metrics, s.polled, s.err
+}
+
+func main() {
+	addr := flag.String("addr", ":8718", "listen address")
+	nodes := flag.String("nodes", "", "comma-separated fleetd base URLs (required)")
+	interval := flag.Duration("interval", 10*time.Second, "node poll interval")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-poll HTTP timeout")
+	flag.Parse()
+
+	var urls []string
+	for _, n := range strings.Split(*nodes, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			urls = append(urls, strings.TrimRight(n, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("fleet-agg: -nodes is required (comma-separated fleetd base URLs)")
+	}
+	reg := fleet.NewRegional(urls, &http.Client{Timeout: *timeout})
+	st := &state{}
+
+	poll := func() {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		rep, err := reg.Fold(ctx)
+		var m obs.Snapshot
+		if err == nil {
+			m, err = reg.Metrics(ctx)
+		}
+		st.set(rep, m, err)
+		if err != nil {
+			log.Printf("fleet-agg: poll failed: %v", err)
+		}
+	}
+	poll()
+	go func() {
+		for range time.Tick(*interval) {
+			poll()
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/report", func(w http.ResponseWriter, r *http.Request) {
+		rep, _, _, _ := st.get()
+		if r.URL.Query().Get("format") == "json" {
+			var buf bytes.Buffer
+			if err := rep.Export(&buf); err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.Write(buf.Bytes())
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "regional report (%d nodes): %d root causes, %d diagnosed hangs\n\n",
+			len(urls), rep.Len(), rep.TotalHangs())
+		fmt.Fprint(w, rep.Render())
+	})
+	mux.HandleFunc("/v1/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		rep, _, _, _ := st.get()
+		doc := core.AppendReportBinary(nil, rep)
+		w.Header().Set("Content-Type", core.BinaryContentType)
+		w.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+		w.Write(doc)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		_, m, _, _ := st.get()
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		m.WriteTo(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		_, _, polled, err := st.get()
+		status, code := "ok", http.StatusOK
+		if err != nil {
+			status, code = "degraded", http.StatusServiceUnavailable
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		resp := map[string]any{
+			"status": status, "nodes": len(urls), "last_poll": polled.Format(time.RFC3339),
+		}
+		if err != nil {
+			resp["error"] = err.Error()
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
+
+	log.Printf("fleet-agg listening on %s, folding %d nodes every %v", *addr, len(urls), *interval)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}

@@ -47,6 +47,7 @@ func main() {
 	walDir := flag.String("wal-dir", "", "durable mode: per-shard WAL directory (empty = memory-only)")
 	walSync := flag.String("wal-sync", "batch", "WAL durability barrier: always | batch | off")
 	compactEvery := flag.Int("compact-every", 4096, "snapshot-compact a shard log after this many records")
+	dictCache := flag.Int("dict-cache", fleet.DefaultDictDevices, "devices whose binary-upload dictionary state is retained (LRU beyond it)")
 	flag.Parse()
 
 	cfg := fleet.Config{Shards: *shards, QueueDepth: *queue, BatchSize: *batch}
@@ -72,7 +73,7 @@ func main() {
 			snap.Value("hangdoctor_fleet_wal_corrupt_records_total"),
 			snap.Value("hangdoctor_fleet_wal_compactions_total"))
 	}
-	fs := fleet.NewServer(agg)
+	fs := fleet.NewServerDict(agg, *dictCache)
 	fs.RetryAfter = *retryAfter
 	srv := &http.Server{Addr: *addr, Handler: fs.Handler()}
 

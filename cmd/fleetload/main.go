@@ -1,17 +1,26 @@
-// Command fleetload drives load against the fleet ingestion layer, either
-// over HTTP against a running fleetd or in-process against the shard layer
-// itself, and reports ingest throughput. The in-process mode sweeps shard
-// counts so the scaling claim (throughput grows with shards on a multicore
-// host) is reproducible from one command.
+// Command fleetload drives load against the fleet ingestion layer: over
+// HTTP against running fleetd nodes (JSON or the binary wire encoding,
+// with consistent-hash routing across multiple nodes), in-process against
+// the shard layer itself, or as a full fleet *simulation* — a million
+// devices uploading on a realistic cadence through per-device dictionary
+// encoders, exercising encoder/decoder eviction and the 409 resync
+// protocol end to end. The in-process mode sweeps shard counts so the
+// scaling claim (throughput grows with shards on a multicore host) is
+// reproducible from one command.
 //
 // Usage:
 //
 //	fleetload -url http://localhost:8717 -uploads 500 -conc 16
+//	fleetload -url http://node1:8717,http://node2:8717 -binary -uploads 5000
 //	fleetload -inproc -sweep 1,2,4,8 -uploads 2000
+//	fleetload -sim -sim-devices 1000000 -sim-uploads 2000000
 package main
 
 import (
 	"bytes"
+	"container/heap"
+	"container/list"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,23 +39,34 @@ import (
 )
 
 func main() {
-	url := flag.String("url", "", "fleetd base URL (e.g. http://localhost:8717); empty with -inproc")
+	url := flag.String("url", "", "fleetd base URL(s), comma-separated for ring routing; empty with -inproc/-sim")
 	inproc := flag.Bool("inproc", false, "bench the shard layer in-process instead of over HTTP")
+	sim := flag.Bool("sim", false, "run the in-process fleet simulation (devices on a cadence, dictionary deltas)")
+	binary := flag.Bool("binary", false, "upload in the binary wire encoding with per-device dictionaries")
 	sweep := flag.String("sweep", "1,2,4,8", "comma-separated shard counts for -inproc")
 	uploads := flag.Int("uploads", 500, "number of device uploads to send")
 	entries := flag.Int("entries", 120, "diagnosed root causes per upload")
 	conc := flag.Int("conc", 16, "concurrent senders")
 	seed := flag.Int64("seed", 1, "base PRNG seed for synthetic uploads")
 	maxRetries := flag.Int("max-retries", 8, "give up on an upload after this many 429 retries")
+	simDevices := flag.Int("sim-devices", 1_000_000, "distinct devices in the -sim fleet")
+	simUploads := flag.Int("sim-uploads", 2_000_000, "total uploads the -sim fleet sends")
+	simEntries := flag.Int("sim-entries", 4, "root causes per -sim upload (devices report small deltas often)")
+	simShards := flag.Int("sim-shards", 8, "aggregator shards for -sim")
+	simDict := flag.Int("sim-dict", 250_000, "server-side dictionary cache (devices) for -sim; smaller than the fleet forces resyncs")
 	flag.Parse()
 
 	switch {
+	case *sim:
+		runSim(*simDevices, *simUploads, *simEntries, *simShards, *simDict, *seed)
 	case *inproc:
 		runInproc(*sweep, *uploads, *entries, *conc, *seed)
+	case *url != "" && *binary:
+		runHTTPBinary(*url, *uploads, *entries, *conc, *seed, *maxRetries)
 	case *url != "":
 		runHTTP(*url, *uploads, *entries, *conc, *seed, *maxRetries)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: fleetload -url <fleetd> | fleetload -inproc [-sweep 1,2,4,8]")
+		fmt.Fprintln(os.Stderr, "usage: fleetload -url <fleetd>[,<fleetd>...] [-binary] | fleetload -inproc [-sweep 1,2,4,8] | fleetload -sim")
 		os.Exit(2)
 	}
 }
@@ -66,7 +86,19 @@ func payloads(uploads, entries int, seed int64) [][]byte {
 	return out
 }
 
+// splitNodes parses a comma-separated -url list.
+func splitNodes(urls string) []string {
+	var nodes []string
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			nodes = append(nodes, strings.TrimRight(u, "/"))
+		}
+	}
+	return nodes
+}
+
 func runHTTP(base string, uploads, entries, conc int, seed int64, maxRetries int) {
+	base = splitNodes(base)[0]
 	docs := payloads(uploads, entries, seed)
 	// The loader's own accounting lives in an obs registry: lock-free
 	// counters for the senders, a latency histogram for the per-POST round
@@ -140,6 +172,101 @@ func runHTTP(base string, uploads, entries, conc int, seed int64, maxRetries int
 	h := reg.Snapshot().Histogram("fleetload_upload_latency_ms")
 	fmt.Printf("upload latency: p50=%.2fms p95=%.2fms p99=%.2fms (%d round trips)\n",
 		h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Count)
+	if failed.Value() > 0 {
+		os.Exit(1)
+	}
+}
+
+// runHTTPBinary uploads in the binary wire encoding: devices are sticky to
+// one worker (dictionary deltas are ordered per device) and to one node via
+// the consistent-hash ring, each device streams several uploads through its
+// own encoder, and a 409 answer triggers the reset-and-resend resync.
+func runHTTPBinary(urls string, uploads, entries, conc int, seed int64, maxRetries int) {
+	nodes := splitNodes(urls)
+	ring := fleet.NewRing(nodes, 0)
+	const perDev = 8 // uploads per device: deltas amortize the dictionary
+	reg := obs.NewRegistry()
+	accepted := reg.Counter("fleetload_uploads_accepted_total", "Uploads acknowledged with 202.")
+	throttled := reg.Counter("fleetload_throttle_retries_total", "429 responses honored with a backoff retry.")
+	resyncs := reg.Counter("fleetload_dict_resyncs_total", "409 dictionary resets honored with a full-dictionary resend.")
+	failed := reg.Counter("fleetload_uploads_failed_total", "Uploads that errored or got a non-202 terminal status.")
+	sent := reg.Counter("fleetload_bytes_sent_total", "Request body bytes sent (all attempts).")
+	latency := reg.Histogram("fleetload_upload_latency_ms",
+		"Round-trip wall time of one upload POST.", obs.ExpBuckets(0.25, 2, 16))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		rng := simrand.New(uint64(seed)).Derive("fleetload/retry").Derive(strconv.Itoa(w))
+		go func(w int) {
+			defer wg.Done()
+			client := &http.Client{Timeout: 30 * time.Second}
+			post := func(node string, doc []byte) (int, error) {
+				t0 := time.Now()
+				resp, err := client.Post(node+"/v1/upload", core.BinaryContentType, bytes.NewReader(doc))
+				if err != nil {
+					return 0, err
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				sent.Add(int64(len(doc)))
+				latency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+				return resp.StatusCode, nil
+			}
+			for d := w; d*perDev < uploads; d += conc {
+				device := fmt.Sprintf("device-%06d", d)
+				node := ring.Node(device)
+				enc := core.NewBinaryEncoder(device)
+				lo, hi := d*perDev, (d+1)*perDev
+				if hi > uploads {
+					hi = uploads
+				}
+				for i := lo; i < hi; i++ {
+					rep := fleet.SyntheticUpload(seed+int64(i), device, entries)
+					doc := append([]byte(nil), enc.Encode(rep)...)
+					ok := false
+					for retries := 0; retries <= maxRetries; retries++ {
+						code, err := post(node, doc)
+						if err != nil {
+							break
+						}
+						if code == http.StatusConflict {
+							// The server lost this device's dictionary
+							// (restart or eviction): resend self-contained.
+							resyncs.Inc()
+							enc.Reset()
+							doc = append(doc[:0], enc.Encode(rep)...)
+							continue
+						}
+						if code == http.StatusTooManyRequests {
+							throttled.Inc()
+							time.Sleep(time.Second/2 + time.Duration(rng.Int63n(int64(time.Second))))
+							continue
+						}
+						ok = code == http.StatusAccepted
+						break
+					}
+					if ok {
+						accepted.Inc()
+					} else {
+						failed.Inc()
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	fmt.Printf("sent %d binary uploads across %d node(s) in %v: %.0f uploads/s (accepted=%d resyncs=%d throttled-retries=%d failed=%d, %.1f MiB sent)\n",
+		uploads, len(nodes), el.Round(time.Millisecond), float64(uploads)/el.Seconds(),
+		accepted.Value(), resyncs.Value(), throttled.Value(), failed.Value(),
+		float64(sent.Value())/(1<<20))
+	h := reg.Snapshot().Histogram("fleetload_upload_latency_ms")
+	fmt.Printf("upload latency: p50=%.2fms p95=%.2fms p99=%.2fms (%d round trips)\n",
+		h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99), h.Count)
+	if failed.Value() > 0 {
+		os.Exit(1)
+	}
 }
 
 func runInproc(sweep string, uploads, entries, conc int, seed int64) {
@@ -193,4 +320,177 @@ func runInproc(sweep string, uploads, entries, conc int, seed int64) {
 			fmt.Printf("speedup %d->%d shards: %.2fx\n", base.shards, r.shards, r.rate/base.rate)
 		}
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Fleet simulation
+
+// devLRU is a bounded device→state map (client encoders on one side,
+// server decoders on the other). Eviction is the point: a fleet has more
+// devices than either side can hold dictionaries for, and the simulation
+// measures how often the resulting resyncs actually happen at a realistic
+// cadence.
+type devLRU struct {
+	cap     int
+	l       *list.List
+	m       map[int32]*list.Element
+	evicted int64
+}
+
+type devItem struct {
+	key int32
+	val any
+}
+
+func newDevLRU(cap int) *devLRU {
+	return &devLRU{cap: cap, l: list.New(), m: make(map[int32]*list.Element)}
+}
+
+// get returns the device's state, bumping it to most-recently-used.
+func (c *devLRU) get(k int32) (any, bool) {
+	el, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.l.MoveToFront(el)
+	return el.Value.(*devItem).val, true
+}
+
+// put inserts fresh state, evicting the coldest device beyond capacity.
+func (c *devLRU) put(k int32, v any) {
+	c.m[k] = c.l.PushFront(&devItem{key: k, val: v})
+	for len(c.m) > c.cap {
+		oldest := c.l.Back()
+		c.l.Remove(oldest)
+		delete(c.m, oldest.Value.(*devItem).key)
+		c.evicted++
+	}
+}
+
+// simEvent is one device's next scheduled upload in simulated time.
+type simEvent struct {
+	at  int64 // simulated milliseconds
+	dev int32
+}
+
+// simHeap is a min-heap of upcoming uploads ordered by simulated time
+// (ties by device, keeping the schedule deterministic).
+type simHeap []simEvent
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].dev < h[j].dev
+}
+func (h simHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *simHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
+
+// runSim drives a simulated fleet through the whole binary ingest path
+// in-process: `devices` devices upload every ~1 simulated hour (jittered
+// phase and period, min-heap ordered), each through its own dictionary
+// encoder; the server side decodes against a bounded per-device decoder
+// cache and submits the decoded wire entries to a sharded aggregator via
+// the zero-copy path. Both caches are smaller than the fleet, so encoder
+// restarts (full-dictionary resends) and decoder evictions (409-style
+// resyncs) occur at their natural rate.
+func runSim(devices, uploads, entries, shards, dictCap int, seed int64) {
+	if devices < 1 || uploads < 1 {
+		log.Fatal("fleetload: -sim-devices and -sim-uploads must be positive")
+	}
+	fmt.Printf("simulating %d devices, %d uploads (%d entries each), %d shards, %d-device server dictionary cache\n",
+		devices, uploads, entries, shards, dictCap)
+	agg := fleet.NewAggregator(fleet.Config{Shards: shards, QueueDepth: 4096})
+	rng := simrand.New(uint64(seed)).Derive("fleetload/sim")
+
+	// Every device starts at a random phase within the first simulated hour.
+	const hourMS = 3_600_000
+	sched := make(simHeap, devices)
+	for d := range sched {
+		sched[d] = simEvent{at: rng.Int63n(hourMS), dev: int32(d)}
+	}
+	heap.Init(&sched)
+
+	// Client encoder state lives on the devices themselves, so it outlasts
+	// the server's bounded cache — but devices do restart, so bound the
+	// simulation's encoder pool at 4x the server cache: evictions there
+	// model device restarts (base-0 full resend), while the server evicting
+	// a still-live encoder's dictionary produces the 409 resync.
+	encCap := 4 * dictCap
+	if encCap < 1 {
+		encCap = 1
+	}
+	encs := newDevLRU(encCap)
+	decs := newDevLRU(dictCap)
+
+	var resyncs, binBytes, jsonSample, binSample int64
+	seq := make(map[int32]int64, devices/8)
+	start := time.Now()
+	for u := 0; u < uploads; u++ {
+		ev := sched[0]
+		seq[ev.dev]++
+		device := fmt.Sprintf("device-%07d", ev.dev)
+		rep := fleet.SyntheticUpload(seed+int64(ev.dev)*7919+seq[ev.dev], device, entries)
+
+		var enc *core.BinaryEncoder
+		if v, ok := encs.get(ev.dev); ok {
+			enc = v.(*core.BinaryEncoder)
+		} else {
+			enc = core.NewBinaryEncoder(device)
+			encs.put(ev.dev, enc)
+		}
+		doc := enc.Encode(rep)
+
+		var dec *core.BinaryDecoder
+		if v, ok := decs.get(ev.dev); ok {
+			dec = v.(*core.BinaryDecoder)
+		} else {
+			dec = core.NewBinaryDecoder()
+			decs.put(ev.dev, dec)
+		}
+		wr, err := dec.Decode(doc)
+		if err != nil {
+			var dm *core.DictMismatchError
+			if !errors.As(err, &dm) {
+				log.Fatalf("sim: device %s upload rejected: %v", device, err)
+			}
+			// The server evicted this device's dictionary: the 409 resync.
+			resyncs++
+			enc.Reset()
+			doc = enc.Encode(rep)
+			if wr, err = dec.Decode(doc); err != nil {
+				log.Fatalf("sim: resync resend rejected: %v", err)
+			}
+		}
+		binBytes += int64(len(doc))
+		if u%64 == 0 {
+			var buf bytes.Buffer
+			if err := rep.Export(&buf); err == nil {
+				jsonSample += int64(buf.Len())
+				binSample += int64(len(doc))
+			}
+		}
+		if err := agg.SubmitWireWait(wr); err != nil {
+			log.Fatalf("sim: submit: %v", err)
+		}
+
+		// Reschedule the device ~1 simulated hour out, jittered ±10%.
+		sched[0].at = ev.at + hourMS - hourMS/10 + rng.Int63n(hourMS/5)
+		heap.Fix(&sched, 0)
+	}
+	agg.Close()
+	el := time.Since(start)
+	rep := agg.Fold()
+	ratio := 0.0
+	if binSample > 0 {
+		ratio = float64(jsonSample) / float64(binSample)
+	}
+	fmt.Printf("ingested %d uploads in %v: %.0f uploads/s wall\n",
+		uploads, el.Round(time.Millisecond), float64(uploads)/el.Seconds())
+	fmt.Printf("wire: %.1f MiB binary (%.1fx smaller than JSON, sampled), %d resyncs, %d encoder restarts, %d decoder evictions\n",
+		float64(binBytes)/(1<<20), ratio, resyncs, encs.evicted, decs.evicted)
+	fmt.Printf("fleet report: %d root causes, %d diagnosed hangs from %d active devices\n",
+		rep.Len(), rep.TotalHangs(), len(seq))
 }

@@ -1,7 +1,5 @@
 package core
 
-import "hash/fnv"
-
 // This file holds the merge/fold helpers the fleet ingestion service builds
 // on: partitioning a device upload into per-shard fragments and folding the
 // shard-local reports back into one fleet view. Every operation here is a
@@ -10,17 +8,32 @@ import "hash/fnv"
 // serial Merge of the same uploads — the determinism guarantee the sharded
 // server's tests pin down.
 
+// fnv64a hashes s with FNV-1a inline (no hash.Hash allocation — shard
+// routing runs once per entry on the dispatch hot path).
+func fnv64a(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
 // ShardIndex returns the shard an entry belongs to: a stable FNV-1a hash of
 // the entry identity modulo the shard count. Every device reporting the
 // same (app, action, root cause) lands on the same shard, so each shard owns
 // a disjoint slice of the fleet's entry key space.
 func ShardIndex(appName, actionUID, rootCause string, shards int) int {
+	return ShardIndexKey(entryKey(appName, actionUID, rootCause), shards)
+}
+
+// ShardIndexKey is ShardIndex for an already-built entry key (the form
+// decoded binary uploads carry); it hashes without allocating.
+func ShardIndexKey(key string, shards int) int {
 	if shards <= 1 {
 		return 0
 	}
-	h := fnv.New64a()
-	h.Write([]byte(entryKey(appName, actionUID, rootCause)))
-	return int(h.Sum64() % uint64(shards))
+	return int(fnv64a(key) % uint64(shards))
 }
 
 // Clone returns a deep copy of the report; mutating either copy never

@@ -97,13 +97,15 @@ type ShardStats struct {
 	Health  core.Health
 }
 
-// upload is one queued submission: the report, its content-hash identity
-// (zero until a dispatcher computes it, when a WAL needs one), and the
-// optional durability ack.
+// upload is one queued submission: the report (or, for the binary fast
+// path, the decoded wire view), its content-hash identity (zero until a
+// dispatcher computes it, when a WAL needs one), and the optional
+// durability ack. Exactly one of rep/wire is set.
 type upload struct {
-	rep *core.Report
-	id  UploadID
-	ack *uploadAck
+	rep  *core.Report
+	wire *core.WireReport
+	id   UploadID
+	ack  *uploadAck
 }
 
 // uploadAck gathers per-shard outcomes for one durable submission: done
@@ -141,15 +143,24 @@ func (a *uploadAck) firstErr() error {
 	return a.err
 }
 
-// shardMsg is the only thing that crosses into a shard goroutine: either a
-// fragment to merge (with its upload identity and ack) or a control
-// request (exactly one of frag/stats/snap is set).
+// shardMsg is the only thing that crosses into a shard goroutine: a
+// fragment to merge (with its upload identity and ack), a slice of decoded
+// wire entries from the binary fast path (optionally carrying the upload's
+// health section, which rides shard 0), or a control request.
 type shardMsg struct {
-	frag  *core.Report
-	id    UploadID
-	ack   *uploadAck
-	stats chan ShardStats
-	snap  chan *core.Report
+	frag   *core.Report
+	wire   []core.WireEntry
+	health *core.Health
+	id     UploadID
+	ack    *uploadAck
+	stats  chan ShardStats
+	snap   chan *core.Report
+}
+
+// payload reports whether the message carries data to merge (as opposed to
+// a stats/snapshot control request).
+func (m *shardMsg) payload() bool {
+	return m.frag != nil || m.wire != nil || m.health != nil
 }
 
 // Aggregator is the sharded fleet-report builder.
@@ -379,6 +390,44 @@ func (a *Aggregator) SubmitWait(rep *core.Report) error {
 	return nil
 }
 
+// SubmitWire enqueues one decoded binary upload without blocking — the
+// zero-copy ingest path: the dispatcher routes the already-keyed wire
+// entries straight to their shards, which merge them without building an
+// intermediate report. The aggregator takes ownership of wr (decode with
+// BinaryDecoder.Decode, not DecodeScratch). On a durable aggregator the
+// upload is materialized to a report at dispatch so it can be logged; use
+// SubmitDurable when the acknowledgement must imply durability.
+func (a *Aggregator) SubmitWire(wr *core.WireReport) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		a.metrics.rejected.Inc()
+		return ErrClosed
+	}
+	select {
+	case a.intake <- &upload{wire: wr}:
+		a.metrics.accepted.Inc()
+		return nil
+	default:
+		a.metrics.rejected.Inc()
+		return ErrQueueFull
+	}
+}
+
+// SubmitWireWait is SubmitWire that waits for queue space instead of
+// rejecting — the bulk-import and benchmark counterpart of SubmitWait.
+func (a *Aggregator) SubmitWireWait(wr *core.WireReport) error {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.closed {
+		a.metrics.rejected.Inc()
+		return ErrClosed
+	}
+	a.intake <- &upload{wire: wr}
+	a.metrics.accepted.Inc()
+	return nil
+}
+
 // SubmitDurable enqueues one upload and waits until every routed fragment
 // is durable per the WAL's sync policy (or, without a WAL, merged). id is
 // the upload's content hash (ComputeUploadID over the raw document, or
@@ -425,6 +474,20 @@ func (a *Aggregator) runDispatcher() {
 	defer a.dispatchWG.Done()
 	durable := a.cfg.WAL != nil
 	for u := range a.intake {
+		if u.wire != nil {
+			if durable {
+				// The WAL logs report fragments; materialize once so the
+				// durable path below stays uniform (the canonical identity
+				// is derived right after, like any other submit).
+				u.rep = u.wire.Report()
+				u.wire = nil
+			} else {
+				if !a.dispatchWire(u) {
+					return
+				}
+				continue
+			}
+		}
 		if durable && u.id == (UploadID{}) {
 			// Non-durable submit on a durable aggregator: the log record
 			// still needs an identity, derived here off the hot Submit path.
@@ -461,12 +524,65 @@ func (a *Aggregator) runDispatcher() {
 	}
 }
 
+// dispatchWire routes a decoded binary upload's entries to their shards by
+// precomputed entry key — no Split, no fragment reports, no re-hashing of
+// strings the decoder already keyed. It returns false if a crash unwound
+// the dispatcher mid-route.
+func (a *Aggregator) dispatchWire(u *upload) bool {
+	frags, health := u.wire.Split(a.cfg.Shards)
+	var h *core.Health
+	if !health.Zero() {
+		h = &health
+	}
+	for i, entries := range frags {
+		var eh *core.Health
+		if i == 0 {
+			eh = h
+		}
+		if entries == nil && eh == nil {
+			continue
+		}
+		select {
+		case a.shards[i] <- shardMsg{wire: entries, health: eh, id: u.id, ack: u.ack}:
+		case <-a.crashCh:
+			return false
+		}
+	}
+	return true
+}
+
 // pendingFrag is one fragment of the in-flight shard batch, kept with its
-// identity and ack until the durability barrier decides its fate.
+// identity and ack until the durability barrier decides its fate. Either
+// frag or wire (with optional health) is set, mirroring shardMsg.
 type pendingFrag struct {
-	frag *core.Report
-	id   UploadID
-	ack  *uploadAck
+	frag   *core.Report
+	wire   []core.WireEntry
+	health *core.Health
+	id     UploadID
+	ack    *uploadAck
+}
+
+// merge folds the fragment into rep, whichever form it carries.
+func (pf *pendingFrag) merge(rep *core.Report) {
+	if pf.frag != nil {
+		rep.Merge(pf.frag)
+		return
+	}
+	if pf.health != nil {
+		rep.Health.Add(*pf.health)
+	}
+	rep.MergeWireEntries(pf.wire)
+}
+
+// report materializes the fragment as a standalone report (the durable
+// path needs one to log).
+func (pf *pendingFrag) report() *core.Report {
+	if pf.frag == nil {
+		frag := core.NewReport()
+		pf.merge(frag)
+		pf.frag = frag
+	}
+	return pf.frag
 }
 
 // runShard is a single-writer merge loop: only this goroutine ever touches
@@ -529,11 +645,11 @@ func (a *Aggregator) runShard(i int, ready chan<- error) {
 				return
 			}
 		}
-		if msg.frag == nil {
+		if !msg.payload() {
 			serve(msg)
 			continue
 		}
-		batch = append(batch[:0], pendingFrag{msg.frag, msg.id, msg.ack})
+		batch = append(batch[:0], pendingFrag{frag: msg.frag, wire: msg.wire, health: msg.health, id: msg.id, ack: msg.ack})
 		ctrl = ctrl[:0]
 	drain:
 		for len(batch) < a.cfg.BatchSize {
@@ -542,12 +658,12 @@ func (a *Aggregator) runShard(i int, ready chan<- error) {
 				if !ok {
 					break drain
 				}
-				if m2.frag == nil {
+				if !m2.payload() {
 					// Answer after the in-flight batch merges.
 					ctrl = append(ctrl, m2)
 					break drain
 				}
-				batch = append(batch, pendingFrag{m2.frag, m2.id, m2.ack})
+				batch = append(batch, pendingFrag{frag: m2.frag, wire: m2.wire, health: m2.health, id: m2.id, ack: m2.ack})
 			default:
 				break drain
 			}
@@ -581,13 +697,11 @@ func (a *Aggregator) runShard(i int, ready chan<- error) {
 //     contains state the log could lose.
 func (a *Aggregator) processBatch(w *shardWAL, rep *core.Report, batch []pendingFrag) {
 	if w == nil {
-		frags := make([]*core.Report, len(batch))
-		for i, pf := range batch {
-			frags[i] = pf.frag
-		}
 		start := time.Now()
-		rep.Merge(frags...)
-		a.metrics.noteMerge(len(frags), time.Since(start))
+		for i := range batch {
+			batch[i].merge(rep)
+		}
+		a.metrics.noteMerge(len(batch), time.Since(start))
 		for _, pf := range batch {
 			pf.ack.complete(nil)
 		}
@@ -612,7 +726,7 @@ func (a *Aggregator) processBatch(w *shardWAL, rep *core.Report, batch []pending
 			pf.ack.complete(nil)
 			continue
 		}
-		payload, err := encodeFragment(pf.id, pf.frag)
+		payload, err := encodeFragment(pf.id, pf.report())
 		if err == nil {
 			err = w.append(payload)
 		}
@@ -640,14 +754,12 @@ func (a *Aggregator) processBatch(w *shardWAL, rep *core.Report, batch []pending
 	}
 	// Only now — past the barrier — does the batch enter the in-memory
 	// report and the dedup window.
-	frags := make([]*core.Report, len(durable))
-	for i, pf := range durable {
-		frags[i] = pf.frag
-		w.dedup.add(pf.id)
-	}
 	start := time.Now()
-	rep.Merge(frags...)
-	a.metrics.noteMerge(len(frags), time.Since(start))
+	for i := range durable {
+		durable[i].merge(rep)
+		w.dedup.add(durable[i].id)
+	}
+	a.metrics.noteMerge(len(durable), time.Since(start))
 	for _, pf := range durable {
 		pf.ack.complete(nil)
 	}

@@ -24,6 +24,12 @@ type Metrics struct {
 	rejected *obs.Counter
 	invalid  *obs.Counter
 
+	// binaryUploads counts uploads that arrived in the binary wire encoding;
+	// dictMismatches counts dictionary-delta documents rejected with the
+	// 409 resync protocol (client resets and resends a full dictionary).
+	binaryUploads  *obs.Counter
+	dictMismatches *obs.Counter
+
 	// mergeLatency distributes per-merge wall time; its _sum line carries
 	// the same total as MergeNs.
 	mergeLatency *obs.Histogram
@@ -102,6 +108,10 @@ func newMetrics(queueCap int) *Metrics {
 			"Uploads refused for backpressure or shutdown."),
 		invalid: reg.Counter("hangdoctor_fleet_uploads_invalid_total",
 			"Uploads that failed validation."),
+		binaryUploads: reg.Counter("hangdoctor_fleet_uploads_binary_total",
+			"Uploads received in the binary wire encoding."),
+		dictMismatches: reg.Counter("hangdoctor_fleet_dict_mismatches_total",
+			"Binary uploads rejected for a dictionary-delta mismatch (409 resync)."),
 		mergeLatency: reg.Histogram("hangdoctor_fleet_merge_latency_ns",
 			"Wall time of one shard merge call.",
 			obs.ExpBuckets(1024, 4, 12)),
@@ -157,6 +167,11 @@ type MetricsSnapshot struct {
 	Rejected int64 `json:"rejected"`
 	// Invalid counts uploads that failed schema validation.
 	Invalid int64 `json:"invalid"`
+	// BinaryUploads counts uploads received in the binary wire encoding;
+	// DictMismatches counts binary uploads bounced with the 409 dictionary
+	// resync protocol.
+	BinaryUploads  int64 `json:"binary_uploads"`
+	DictMismatches int64 `json:"dict_mismatches"`
 	// Merges counts shard merge calls; MergedFragments counts the fragments
 	// they folded (MergedFragments/Merges is the realized batch size).
 	Merges          int64 `json:"merges"`
@@ -176,6 +191,8 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Accepted:        m.accepted.Value(),
 		Rejected:        m.rejected.Value(),
 		Invalid:         m.invalid.Value(),
+		BinaryUploads:   m.binaryUploads.Value(),
+		DictMismatches:  m.dictMismatches.Value(),
 		Merges:          merges,
 		MergedFragments: frags,
 		MergeNs:         ns,

@@ -1,0 +1,134 @@
+package fleet
+
+// regional.go is the second fleet tier: a regional aggregator that folds N
+// fleetd nodes into one view the same way one node folds its shards. Each
+// node serves its folded state in canonical binary form on /v1/snapshot
+// and its obs registry on /metrics/snapshot; the Regional fetches both and
+// folds them — core.FoldReports for the report (commutative merge, so the
+// fold is byte-identical to single-node operation on the same uploads) and
+// obs.MergeSnapshots for the metrics (per-series sums). The shard fold and
+// the node fold are the same algebra at different radii, which is what
+// makes the two-tier determinism test meaningful: shards→node→region and
+// uploads→one-aggregator must produce identical bytes.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"hangdoctor/internal/core"
+	"hangdoctor/internal/obs"
+)
+
+// maxSnapshotBytes bounds one node's snapshot document (a folded fleet
+// report can be much larger than one upload).
+const maxSnapshotBytes = 256 << 20
+
+// Regional folds a set of fleetd nodes. The zero value is not usable;
+// construct with NewRegional.
+type Regional struct {
+	nodes  []string
+	client *http.Client
+}
+
+// NewRegional builds a regional folder over node base URLs (e.g.
+// "http://127.0.0.1:8717"). client nil uses a 30s-timeout default.
+func NewRegional(nodes []string, client *http.Client) *Regional {
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return &Regional{nodes: append([]string(nil), nodes...), client: client}
+}
+
+// Nodes returns the configured node list.
+func (r *Regional) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// FetchSnapshot pulls one node's folded report from /v1/snapshot and
+// decodes the canonical binary document.
+func (r *Regional) FetchSnapshot(ctx context.Context, node string) (*core.Report, error) {
+	body, err := r.get(ctx, node+"/v1/snapshot")
+	if err != nil {
+		return nil, err
+	}
+	wr, err := core.NewBinaryDecoder().Decode(body)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: node %s snapshot: %w", node, err)
+	}
+	return wr.Report(), nil
+}
+
+// Fold fetches every node's snapshot concurrently and merges them into one
+// regional report. Any node failure fails the fold — a partial region
+// would silently under-count, which is worse than a late one.
+func (r *Regional) Fold(ctx context.Context) (*core.Report, error) {
+	snaps := make([]*core.Report, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, node := range r.nodes {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			snaps[i], errs[i] = r.FetchSnapshot(ctx, node)
+		}(i, node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return core.FoldReports(snaps...), nil
+}
+
+// Metrics fetches every node's obs snapshot from /metrics/snapshot and
+// folds them with obs.MergeSnapshots — counters and gauges sum per series,
+// histograms sum per bucket — so the regional exposition has the same
+// shape as a node's.
+func (r *Regional) Metrics(ctx context.Context) (obs.Snapshot, error) {
+	snaps := make([]obs.Snapshot, len(r.nodes))
+	errs := make([]error, len(r.nodes))
+	var wg sync.WaitGroup
+	for i, node := range r.nodes {
+		wg.Add(1)
+		go func(i int, node string) {
+			defer wg.Done()
+			body, err := r.get(ctx, node+"/metrics/snapshot")
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			errs[i] = json.Unmarshal(body, &snaps[i])
+		}(i, node)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return obs.Snapshot{}, err
+		}
+	}
+	return obs.MergeSnapshots(snaps...), nil
+}
+
+func (r *Regional) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxSnapshotBytes))
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %s: %w", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("fleet: %s: status %d", url, resp.StatusCode)
+	}
+	return body, nil
+}

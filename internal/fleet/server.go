@@ -5,7 +5,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"strconv"
 	"time"
@@ -15,23 +14,57 @@ import (
 
 // Server is the HTTP face of an Aggregator:
 //
-//	POST /v1/upload    — one (*core.Report).Export JSON document per request
-//	GET  /v1/report    — the folded fleet report (text, or ?format=json)
-//	GET  /healthz      — liveness + queue occupancy
-//	GET  /metrics      — Prometheus text exposition (obs registry)
-//	GET  /metrics.json — the same state as one AggregatorSnapshot JSON document
+//	POST /v1/upload         — one report per request, JSON ((*core.Report).Export)
+//	                          or the binary wire encoding (core.BinaryContentType)
+//	GET  /v1/report         — the folded fleet report (text, or ?format=json)
+//	GET  /v1/snapshot       — the folded fleet report in canonical binary form
+//	                          (what a regional fleet-agg folds)
+//	GET  /healthz           — liveness + queue occupancy
+//	GET  /metrics           — Prometheus text exposition (obs registry)
+//	GET  /metrics.json      — the same state as one AggregatorSnapshot JSON document
+//	GET  /metrics/snapshot  — the obs registry as an obs.Snapshot JSON document
+//	                          (the shape obs.MergeSnapshots folds across nodes)
 type Server struct {
 	agg *Aggregator
 	// MaxBodyBytes bounds an upload document (default 8 MiB); oversized
-	// bodies fail validation rather than exhausting memory.
+	// bodies are refused with 413 so clients can distinguish "too large"
+	// from "malformed".
 	MaxBodyBytes int64
 	// RetryAfter is the backoff advertised on 429 responses (default 1s).
 	RetryAfter time.Duration
+
+	// dicts holds per-device binary-decoder state (see ingest.go).
+	dicts *dictCache
+
+	// exportReport serializes a folded report for ?format=json. It is a
+	// seam for tests to force an export failure; the handler buffers the
+	// result so a failure becomes a clean 500 instead of an error string
+	// appended to a partially written 200 body.
+	exportReport func(*core.Report) ([]byte, error)
 }
 
-// NewServer wraps an aggregator with default limits.
+// NewServer wraps an aggregator with default limits and a dictionary cache
+// sized for DefaultDictDevices devices (use NewServerDict to size it).
 func NewServer(agg *Aggregator) *Server {
-	return &Server{agg: agg, MaxBodyBytes: 8 << 20, RetryAfter: time.Second}
+	return NewServerDict(agg, DefaultDictDevices)
+}
+
+// NewServerDict is NewServer with an explicit bound on the number of
+// devices whose binary-upload dictionary state the server retains.
+func NewServerDict(agg *Aggregator, dictDevices int) *Server {
+	return &Server{
+		agg:          agg,
+		MaxBodyBytes: 8 << 20,
+		RetryAfter:   time.Second,
+		dicts:        newDictCache(dictDevices, agg.Metrics().Registry()),
+		exportReport: func(rep *core.Report) ([]byte, error) {
+			var buf bytes.Buffer
+			if err := rep.Export(&buf); err != nil {
+				return nil, err
+			}
+			return buf.Bytes(), nil
+		},
+	}
 }
 
 // Handler returns the route table.
@@ -39,10 +72,32 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/upload", s.handleUpload)
 	mux.HandleFunc("/v1/report", s.handleReport)
+	mux.HandleFunc("/v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	mux.HandleFunc("/metrics/snapshot", s.handleMetricsSnapshot)
 	return mux
+}
+
+// readBody drains the request body under the size cap, mapping the
+// over-limit case to 413 (it is not a malformed document — the same bytes
+// under a higher cap might be perfectly valid) and anything else to 400.
+// It reports whether the caller may proceed.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	lr := http.MaxBytesReader(w, r.Body, s.MaxBodyBytes)
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(lr); err != nil {
+		s.agg.Metrics().NoteInvalid()
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			http.Error(w, fmt.Sprintf("report exceeds %d byte limit", mbe.Limit), http.StatusRequestEntityTooLarge)
+		} else {
+			http.Error(w, fmt.Sprintf("invalid report: %v", err), http.StatusBadRequest)
+		}
+		return nil, false
+	}
+	return buf.Bytes(), true
 }
 
 func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -51,38 +106,82 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "upload requires POST", http.StatusMethodNotAllowed)
 		return
 	}
-	var err error
-	var rep *core.Report
+	body, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	if r.Header.Get("Content-Type") == core.BinaryContentType || core.IsBinaryReport(body) {
+		s.uploadBinary(w, body)
+		return
+	}
+	s.uploadJSON(w, body)
+}
+
+func (s *Server) uploadJSON(w http.ResponseWriter, body []byte) {
+	rep, err := core.ImportReport(bytes.NewReader(body))
+	if err != nil {
+		s.agg.Metrics().NoteInvalid()
+		http.Error(w, fmt.Sprintf("invalid report: %v", err), http.StatusBadRequest)
+		return
+	}
+	entries, hangs := rep.Len(), rep.TotalHangs()
 	if s.agg.Durable() {
-		// On a durable aggregator 202 means "on disk": hash the raw body
-		// into the upload's identity (so a client retry of the same
-		// document is idempotent), then wait for the WAL barrier.
-		body, rerr := io.ReadAll(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
-		if rerr != nil {
-			s.agg.Metrics().NoteInvalid()
-			http.Error(w, fmt.Sprintf("invalid report: %v", rerr), http.StatusBadRequest)
+		// On a durable aggregator 202 means "on disk": the upload's dedup
+		// identity is its canonical content hash — a client that re-encodes
+		// the same document (key order, whitespace, or a binary re-send)
+		// still deduplicates — and the submit waits for the WAL barrier.
+		id, _ := ReportUploadID(rep)
+		err = s.agg.SubmitDurable(rep, id)
+	} else {
+		err = s.agg.Submit(rep)
+	}
+	s.finishUpload(w, err, entries, hangs)
+}
+
+func (s *Server) uploadBinary(w http.ResponseWriter, body []byte) {
+	s.agg.Metrics().binaryUploads.Inc()
+	wr, err := s.dicts.decode(body)
+	if err != nil {
+		var dm *core.DictMismatchError
+		if errors.As(err, &dm) {
+			// The device's dictionary diverged (server restart, eviction,
+			// lost upload). 409 tells the client to reset its encoder and
+			// resend with a full dictionary — a protocol round trip, not an
+			// invalid document.
+			s.agg.Metrics().dictMismatches.Inc()
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": "dictionary_reset", "assumed": dm.Base, "have": dm.Have,
+			})
 			return
 		}
-		rep, err = core.ImportReport(bytes.NewReader(body))
-		if err == nil {
-			err = s.agg.SubmitDurable(rep, ComputeUploadID(body))
-		}
-	} else {
-		rep, err = core.ImportReport(http.MaxBytesReader(w, r.Body, s.MaxBodyBytes))
-		if err == nil {
-			err = s.agg.Submit(rep)
-		}
+		s.agg.Metrics().NoteInvalid()
+		http.Error(w, fmt.Sprintf("invalid report: %v", err), http.StatusBadRequest)
+		return
 	}
+	entries, hangs := len(wr.Entries), wr.TotalHangs()
+	if s.agg.Durable() {
+		rep := wr.Report()
+		id, _ := ReportUploadID(rep)
+		err = s.agg.SubmitDurable(rep, id)
+	} else {
+		// Zero-copy ingest: the decoded wire entries go straight to their
+		// shards, keyed by the decoder's dictionary.
+		err = s.agg.SubmitWire(wr)
+	}
+	s.finishUpload(w, err, entries, hangs)
+}
+
+// finishUpload maps a submit outcome onto the response.
+func (s *Server) finishUpload(w http.ResponseWriter, err error, entries, hangs int) {
 	switch {
 	case err == nil:
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusAccepted)
 		json.NewEncoder(w).Encode(map[string]any{
-			"status": "accepted", "entries": rep.Len(), "hangs": rep.TotalHangs(),
+			"status": "accepted", "entries": entries, "hangs": hangs,
 		})
-	case rep == nil:
-		s.agg.Metrics().NoteInvalid()
-		http.Error(w, fmt.Sprintf("invalid report: %v", err), http.StatusBadRequest)
 	case errors.Is(err, ErrQueueFull):
 		// Backpressure: the device should retry after a pause instead of the
 		// server buffering without bound.
@@ -105,15 +204,37 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	rep := s.agg.Fold()
 	if r.URL.Query().Get("format") == "json" {
-		w.Header().Set("Content-Type", "application/json")
-		if err := rep.Export(w); err != nil {
+		// Buffer the export before touching the ResponseWriter: once a 200
+		// and partial body are out, an error can only corrupt the stream.
+		body, err := s.exportReport(rep)
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
 		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(body)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprintf(w, "fleet report: %d root causes, %d diagnosed hangs\n\n", rep.Len(), rep.TotalHangs())
 	fmt.Fprint(w, rep.Render())
+}
+
+// handleSnapshot serves the folded fleet report in canonical binary form —
+// the node half of the regional fold protocol. Because the encoding is
+// canonical, two nodes holding identical state serve identical bytes, and
+// a regional fold of node snapshots is byte-identical to folding the same
+// uploads on one node.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, "snapshot requires GET", http.StatusMethodNotAllowed)
+		return
+	}
+	doc := core.AppendReportBinary(nil, s.agg.Fold())
+	w.Header().Set("Content-Type", core.BinaryContentType)
+	w.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+	w.Write(doc)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -149,4 +270,13 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.agg.Snapshot())
+}
+
+// handleMetricsSnapshot serves the registry as an obs.Snapshot document —
+// the node half of regional metrics aggregation: a fleet-agg unmarshals
+// each node's snapshot and folds them with obs.MergeSnapshots.
+func (s *Server) handleMetricsSnapshot(w http.ResponseWriter, r *http.Request) {
+	s.agg.scrape()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.agg.Metrics().Registry().Snapshot())
 }

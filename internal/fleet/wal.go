@@ -116,13 +116,19 @@ func (c *WALConfig) withDefaults() *WALConfig {
 }
 
 // UploadID identifies one upload document by content: the FNV-128a hash
-// of its canonical JSON export. Identical documents share an ID, which is
-// what makes resending after a crash or a 5xx idempotent.
+// of its canonical binary encoding (core.AppendReportBinary). Identical
+// report *content* shares an ID regardless of how the client serialized it
+// — JSON key order, whitespace, or a binary re-encode against a different
+// dictionary state all hash the same — which is what makes resending after
+// a crash or a 5xx idempotent and defeats accidental double-counting from
+// re-serialized duplicates.
 type UploadID [16]byte
 
 func (id UploadID) String() string { return hex.EncodeToString(id[:]) }
 
-// ComputeUploadID hashes a raw upload document (the HTTP body).
+// ComputeUploadID hashes raw bytes. It identifies a document only as
+// precisely as the bytes are canonical — prefer ReportUploadID, which
+// hashes parsed content.
 func ComputeUploadID(doc []byte) UploadID {
 	h := fnv.New128a()
 	h.Write(doc)
@@ -131,14 +137,14 @@ func ComputeUploadID(doc []byte) UploadID {
 	return id
 }
 
-// ReportUploadID hashes a report's canonical export — the in-process
-// counterpart of ComputeUploadID.
+// ReportUploadID hashes a report's canonical binary encoding. The encoding
+// is a pure function of report content (entries in canonical order, refs in
+// first-use order, no dictionary carry-over), so two uploads with the same
+// content always collide here — the dedup identity of the durable path. The
+// error return is vestigial (the binary encoder cannot fail) and kept for
+// call-site stability.
 func ReportUploadID(rep *core.Report) (UploadID, error) {
-	var buf bytes.Buffer
-	if err := rep.Export(&buf); err != nil {
-		return UploadID{}, err
-	}
-	return ComputeUploadID(buf.Bytes()), nil
+	return ComputeUploadID(core.AppendReportBinary(nil, rep)), nil
 }
 
 // ---------------------------------------------------------------------------
@@ -151,8 +157,9 @@ const (
 	maxWALRecordLen = 64 << 20
 
 	recKindHeader   byte = 1
-	recKindFragment byte = 2
+	recKindFragment byte = 2 // legacy JSON fragment payload (replay-only)
 	recKindSnapshot byte = 3
+	recKindFragBin  byte = 4 // binary fragment payload (all new appends)
 
 	walFormatVersion = 1
 )
@@ -240,27 +247,41 @@ func encodeHeader(h walHeader) ([]byte, error) {
 	return append([]byte{recKindHeader}, body...), nil
 }
 
+// encodeFragment frames a fragment for the log in the binary wire encoding
+// (kind 4) — a fraction of the JSON record's size, decoded allocation-lean
+// at replay. Logs written before the binary format carry kind-2 JSON
+// fragments; decodeFragment still reads those, so an upgraded process
+// replays an old log transparently (and compacts it away on rotation).
 func encodeFragment(id UploadID, frag *core.Report) ([]byte, error) {
-	var buf bytes.Buffer
-	buf.WriteByte(recKindFragment)
-	buf.Write(id[:])
-	if err := frag.Export(&buf); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
+	buf := make([]byte, 0, 512)
+	buf = append(buf, recKindFragBin)
+	buf = append(buf, id[:]...)
+	return core.AppendReportBinary(buf, frag), nil
 }
 
 func decodeFragment(payload []byte) (UploadID, *core.Report, error) {
 	var id UploadID
-	if len(payload) < 1+len(id) || payload[0] != recKindFragment {
+	if len(payload) < 1+len(id) {
 		return id, nil, errors.New("fleet: wal record is not a fragment")
 	}
+	kind := payload[0]
 	copy(id[:], payload[1:1+len(id)])
-	rep, err := core.ImportReport(bytes.NewReader(payload[1+len(id):]))
-	if err != nil {
-		return id, nil, err
+	body := payload[1+len(id):]
+	switch kind {
+	case recKindFragBin:
+		wr, err := core.NewBinaryDecoder().Decode(body)
+		if err != nil {
+			return id, nil, err
+		}
+		return id, wr.Report(), nil
+	case recKindFragment:
+		rep, err := core.ImportReport(bytes.NewReader(body))
+		if err != nil {
+			return id, nil, err
+		}
+		return id, rep, nil
 	}
-	return id, rep, nil
+	return id, nil, errors.New("fleet: wal record is not a fragment")
 }
 
 // walSnapshot is the single record of a snapshot file: the shard's whole
