@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,7 +49,17 @@ func main() {
 	walSync := flag.String("wal-sync", "batch", "WAL durability barrier: always | batch | off")
 	compactEvery := flag.Int("compact-every", 4096, "snapshot-compact a shard log after this many records")
 	dictCache := flag.Int("dict-cache", fleet.DefaultDictDevices, "devices whose binary-upload dictionary state is retained (LRU beyond it)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registers on the default mux; the ingest mux is
+			// custom, so profiling stays off the public listener.
+			log.Printf("fleetd: pprof on %s", *pprofAddr)
+			log.Fatal(http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	cfg := fleet.Config{Shards: *shards, QueueDepth: *queue, BatchSize: *batch}
 	if *walDir != "" {

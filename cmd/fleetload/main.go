@@ -20,6 +20,7 @@ import (
 	"bytes"
 	"container/heap"
 	"container/list"
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -54,8 +55,13 @@ func main() {
 	simEntries := flag.Int("sim-entries", 4, "root causes per -sim upload (devices report small deltas often)")
 	simShards := flag.Int("sim-shards", 8, "aggregator shards for -sim")
 	simDict := flag.Int("sim-dict", 250_000, "server-side dictionary cache (devices) for -sim; smaller than the fleet forces resyncs")
+	poll := flag.Duration("poll", 0, "while sending over HTTP, delta-poll the node(s) at this interval (0 = off)")
 	flag.Parse()
 
+	var stopPoll func()
+	if *poll > 0 && *url != "" && !*inproc && !*sim {
+		stopPoll = startPoller(splitNodes(*url), *poll)
+	}
 	switch {
 	case *sim:
 		runSim(*simDevices, *simUploads, *simEntries, *simShards, *simDict, *seed)
@@ -69,6 +75,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: fleetload -url <fleetd>[,<fleetd>...] [-binary] | fleetload -inproc [-sweep 1,2,4,8] | fleetload -sim")
 		os.Exit(2)
 	}
+	if stopPoll != nil {
+		stopPoll()
+	}
+}
+
+// startPoller exercises the incremental read path while the load runs: a
+// Regional delta-polls the target nodes at the given interval (echoing
+// version vectors, applying deltas) and prints what it saw on stop. This
+// is the read half of the load story — folds race ingest instead of
+// running against a quiet fleet.
+func startPoller(nodes []string, interval time.Duration) (stop func()) {
+	reg := fleet.NewRegional(nodes, &http.Client{Timeout: 10 * time.Second})
+	reg.NodeTimeout = 5 * time.Second
+	done := make(chan struct{})
+	finished := make(chan struct{})
+	go func() {
+		defer close(finished)
+		var rounds, deltas, failed int
+		var last *core.Report
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				if rounds > 0 && last != nil {
+					fmt.Printf("poller: %d rounds (%d delta answers, %d node failures), final view: %d causes, %d hangs\n",
+						rounds, deltas, failed, last.Len(), last.TotalHangs())
+				}
+				return
+			case <-tick.C:
+				res := reg.PollDelta(context.Background())
+				rounds++
+				deltas += res.Deltas
+				failed += res.Failed
+				last = res.Report
+			}
+		}
+	}()
+	return func() { close(done); <-finished }
 }
 
 // payloads pre-exports the synthetic uploads so generation cost never

@@ -44,16 +44,7 @@ func (r *Report) Clone() *Report {
 	out.totalHangs = r.totalHangs
 	out.Health = r.Health
 	for key, e := range r.entries {
-		ne := &ReportEntry{
-			App: e.App, ActionUID: e.ActionUID, RootCause: e.RootCause,
-			File: e.File, Line: e.Line, ViaCaller: e.ViaCaller,
-			Hangs: e.Hangs, Devices: make(map[string]bool, len(e.Devices)),
-			MaxResponse: e.MaxResponse, SumResponse: e.SumResponse,
-		}
-		for d := range e.Devices {
-			ne.Devices[d] = true
-		}
-		out.entries[key] = ne
+		out.entries[key] = cloneEntry(e)
 	}
 	return out
 }
@@ -85,16 +76,7 @@ func (r *Report) Split(shards int) []*Report {
 	}
 	for key, e := range r.entries {
 		f := frag(ShardIndex(e.App, e.ActionUID, e.RootCause, shards))
-		ne := &ReportEntry{
-			App: e.App, ActionUID: e.ActionUID, RootCause: e.RootCause,
-			File: e.File, Line: e.Line, ViaCaller: e.ViaCaller,
-			Hangs: e.Hangs, Devices: make(map[string]bool, len(e.Devices)),
-			MaxResponse: e.MaxResponse, SumResponse: e.SumResponse,
-		}
-		for d := range e.Devices {
-			ne.Devices[d] = true
-		}
-		f.entries[key] = ne
+		f.entries[key] = cloneEntry(e)
 		f.totalHangs += e.Hangs
 	}
 	return out

@@ -143,10 +143,21 @@ func (a *uploadAck) firstErr() error {
 	return a.err
 }
 
+// shardSnap is a shard's reply to a snapshot or delta request: an
+// immutable report (the shard's cached copy-on-write snapshot, or the
+// changed-entries-only delta) and the shard's state version, read in the
+// same shard-goroutine turn so the pair is always consistent.
+type shardSnap struct {
+	rep     *core.Report
+	version uint64
+}
+
 // shardMsg is the only thing that crosses into a shard goroutine: a
 // fragment to merge (with its upload identity and ack), a slice of decoded
 // wire entries from the binary fast path (optionally carrying the upload's
-// health section, which rides shard 0), or a control request.
+// health section, which rides shard 0), or a control request (stats, a
+// versioned snapshot, a since-version delta, or a deep clone for the
+// uncached reference fold).
 type shardMsg struct {
 	frag   *core.Report
 	wire   []core.WireEntry
@@ -154,11 +165,14 @@ type shardMsg struct {
 	id     UploadID
 	ack    *uploadAck
 	stats  chan ShardStats
-	snap   chan *core.Report
+	snap   chan shardSnap
+	delta  chan shardSnap
+	since  uint64
+	deep   bool // with snap: reply with a fresh deep clone, bypassing the cache
 }
 
 // payload reports whether the message carries data to merge (as opposed to
-// a stats/snapshot control request).
+// a stats/snapshot/delta control request).
 func (m *shardMsg) payload() bool {
 	return m.frag != nil || m.wire != nil || m.health != nil
 }
@@ -170,6 +184,18 @@ type Aggregator struct {
 	shards  []chan shardMsg
 	metrics *Metrics
 	walM    *walMetrics // nil when the WAL is disabled
+
+	// epoch identifies this aggregator instance in version vectors; shard
+	// versions only compare within one epoch.
+	epoch uint64
+
+	// foldMu guards the incremental fold cache: the last folded view, the
+	// shard version vector it covers, and the post-drain fold memo. The
+	// cached reports are immutable — Fold hands them to many readers.
+	foldMu    sync.Mutex
+	foldCache core.FoldCache
+	foldVers  []uint64
+	foldFinal *core.Report
 
 	// crashCh closes on Crash(): every blocked send, ack wait, and shard
 	// loop unwinds through it.
@@ -198,6 +224,7 @@ func Open(cfg Config) (*Aggregator, error) {
 		shards:  make([]chan shardMsg, cfg.Shards),
 		finals:  make([]*core.Report, cfg.Shards),
 		metrics: newMetrics(cfg.QueueDepth),
+		epoch:   newEpoch(),
 		crashCh: make(chan struct{}),
 	}
 	if cfg.WAL != nil {
@@ -574,6 +601,18 @@ func (pf *pendingFrag) merge(rep *core.Report) {
 	rep.MergeWireEntries(pf.wire)
 }
 
+// mark records the fragment's entry keys in the shard's snapshot cache so
+// the next snapshot re-clones only what this merge dirtied. Called exactly
+// when the fragment actually merges into the shard report (never for the
+// WAL-materialization path, which builds a throwaway report).
+func (pf *pendingFrag) mark(sc *core.SnapshotCache) {
+	if pf.frag != nil {
+		sc.MarkReport(pf.frag)
+		return
+	}
+	sc.MarkWireEntries(pf.wire)
+}
+
 // report materializes the fragment as a standalone report (the durable
 // path needs one to log).
 func (pf *pendingFrag) report() *core.Report {
@@ -616,12 +655,27 @@ func (a *Aggregator) runShard(i int, ready chan<- error) {
 	ch := a.shards[i]
 	batch := make([]pendingFrag, 0, a.cfg.BatchSize)
 	ctrl := make([]shardMsg, 0, 4)
+	// cache is the shard's versioned snapshot state: merges mark the keys
+	// they touch and bump the version once per batch; reads reuse the
+	// cached immutable snapshot whenever the version is unchanged, and a
+	// stale one re-clones only the dirtied entries (copy-on-write).
+	cache := core.NewSnapshotCache()
 	serve := func(m shardMsg) {
 		switch {
 		case m.stats != nil:
 			m.stats <- ShardStats{Entries: rep.Len(), Hangs: rep.TotalHangs(), Health: rep.Health}
+		case m.snap != nil && m.deep:
+			// The uncached reference path (FoldSerial): a fresh deep clone,
+			// exactly what every snapshot request cost before versioning.
+			m.snap <- shardSnap{rep: rep.Clone(), version: cache.Version()}
 		case m.snap != nil:
-			m.snap <- rep.Clone()
+			if cache.Cached() {
+				a.metrics.snapshotReuses.Inc()
+			}
+			m.snap <- shardSnap{rep: cache.Snapshot(rep), version: cache.Version()}
+		case m.delta != nil:
+			d, v := cache.DeltaSince(rep, m.since)
+			m.delta <- shardSnap{rep: d, version: v}
 		}
 	}
 	for {
@@ -637,7 +691,7 @@ func (a *Aggregator) runShard(i int, ready chan<- error) {
 				// Clean drain: write one final compacted snapshot so the
 				// next boot replays a snapshot instead of the whole tail.
 				if w != nil && (w.records > 0 || w.dirty) {
-					if err := w.compact(rep); err != nil {
+					if err := w.compact(cache.Snapshot(rep)); err != nil {
 						fmt.Printf("fleet: shard %d final compaction failed (tail remains replayable): %v\n", i, err)
 					}
 				}
@@ -668,12 +722,16 @@ func (a *Aggregator) runShard(i int, ready chan<- error) {
 				break drain
 			}
 		}
-		a.processBatch(w, rep, batch)
+		a.processBatch(w, rep, cache, batch)
 		for _, m2 := range ctrl {
 			serve(m2)
 		}
 		if w != nil && w.records >= a.cfg.WAL.CompactEvery {
-			if err := w.compact(rep); err != nil {
+			// Compaction serializes the shard's state; consuming the cached
+			// copy-on-write snapshot (instead of the live report) means a
+			// compaction right after a fold costs no extra cloning, and the
+			// snapshot it persists is exactly what readers were served.
+			if err := w.compact(cache.Snapshot(rep)); err != nil {
 				// The old log is intact; keep appending to it and let the
 				// next batch retry. appendErrors already counted barriers.
 				fmt.Printf("fleet: shard %d compaction failed (will retry): %v\n", i, err)
@@ -695,12 +753,14 @@ func (a *Aggregator) runShard(i int, ready chan<- error) {
 //  4. only fragments that made it through the barrier are merged into
 //     the in-memory report and remembered for dedup — the report never
 //     contains state the log could lose.
-func (a *Aggregator) processBatch(w *shardWAL, rep *core.Report, batch []pendingFrag) {
+func (a *Aggregator) processBatch(w *shardWAL, rep *core.Report, sc *core.SnapshotCache, batch []pendingFrag) {
 	if w == nil {
 		start := time.Now()
 		for i := range batch {
+			batch[i].mark(sc)
 			batch[i].merge(rep)
 		}
+		sc.Bump()
 		a.metrics.noteMerge(len(batch), time.Since(start))
 		for _, pf := range batch {
 			pf.ack.complete(nil)
@@ -756,9 +816,11 @@ func (a *Aggregator) processBatch(w *shardWAL, rep *core.Report, batch []pending
 	// report and the dedup window.
 	start := time.Now()
 	for i := range durable {
+		durable[i].mark(sc)
 		durable[i].merge(rep)
 		w.dedup.add(durable[i].id)
 	}
+	sc.Bump()
 	a.metrics.noteMerge(len(durable), time.Since(start))
 	for _, pf := range durable {
 		pf.ack.complete(nil)
@@ -807,15 +869,90 @@ func (a *Aggregator) ShardStats() []ShardStats {
 	return out
 }
 
-// Fold snapshots every shard and merges the snapshots, in shard order, into
-// one fleet report. While traffic is in flight the result is a consistent
-// merge-boundary snapshot per shard (not a global cut); once the aggregator
-// is closed and drained it is the exact fleet total, byte-identical in
-// Export/Render to a serial merge of every accepted upload. After a Crash
-// it returns an empty report — reopen the WAL directory to recover.
+// Fold returns the folded fleet report. While traffic is in flight the
+// result is a consistent merge-boundary snapshot per shard (not a global
+// cut); once the aggregator is closed and drained it is the exact fleet
+// total, byte-identical in Export/Render to a serial merge of every
+// accepted upload. The read path is incremental: each shard serves a
+// versioned copy-on-write snapshot (free when the shard hasn't changed),
+// and the aggregator re-merges only shards whose version moved, so fold
+// cost scales with change, not with accumulated state. The returned
+// report is IMMUTABLE and shared with other readers — treat it (and
+// everything reachable from it) as read-only. After a Crash it returns an
+// empty report (counted in hangdoctor_fleet_fold_errors_total) — reopen
+// the WAL directory to recover.
 func (a *Aggregator) Fold() *core.Report {
+	rep, _ := a.FoldVersioned()
+	return rep
+}
+
+// Epoch identifies this aggregator instance in version vectors.
+func (a *Aggregator) Epoch() uint64 { return a.epoch }
+
+// FoldVersioned is Fold plus the shard version vector the fold covers —
+// the value a delta-polling client echoes back as /v1/snapshot?since=.
+func (a *Aggregator) FoldVersioned() (*core.Report, VersionVector) {
 	start := time.Now()
 	defer func() { a.metrics.noteFold(time.Since(start)) }()
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if a.crashed {
+		a.metrics.foldErrors.Inc()
+		return core.NewReport(), VersionVector{}
+	}
+	if a.finalized {
+		a.mu.RUnlock()
+		a.shardWG.Wait()
+		a.mu.RLock()
+		// Post-drain state is frozen: fold once, serve the memo forever.
+		a.foldMu.Lock()
+		defer a.foldMu.Unlock()
+		if a.foldFinal == nil {
+			a.foldFinal = core.FoldReportsShared(a.finals...)
+		} else {
+			a.metrics.foldCacheHits.Inc()
+		}
+		return a.foldFinal, VersionVector{Epoch: a.epoch}
+	}
+	snaps, vers, ok := a.gatherSnaps(false)
+	if !ok {
+		a.metrics.foldErrors.Inc()
+		return core.NewReport(), VersionVector{}
+	}
+	vec := VersionVector{Epoch: a.epoch, Shards: vers}
+	a.foldMu.Lock()
+	defer a.foldMu.Unlock()
+	moved, stale := false, false
+	changed := make([]bool, len(snaps))
+	for i, v := range vers {
+		if a.foldVers == nil || a.foldVers[i] != v {
+			changed[i] = true
+			moved = true
+		}
+		if a.foldVers != nil && v < a.foldVers[i] {
+			stale = true
+		}
+	}
+	if stale {
+		// A concurrent fold already cached a newer vector; serve this
+		// gather without rolling the cache backwards (the fold cache's
+		// key-superset invariant only holds going forward).
+		return core.FoldReportsShared(snaps...), vec
+	}
+	if !moved && a.foldCache.Result() != nil {
+		a.metrics.foldCacheHits.Inc()
+		return a.foldCache.Result(), vec
+	}
+	rep := a.foldCache.Update(snaps, changed)
+	a.foldVers = vers
+	return rep, vec
+}
+
+// FoldSerial is the uncached reference read path — every shard deep-clones
+// its state and the clones merge serially, exactly what Fold cost before
+// versioned snapshots. The differential tests pin Fold byte-identical to
+// it, and BenchmarkFold uses it as the cold row.
+func (a *Aggregator) FoldSerial() *core.Report {
 	a.mu.RLock()
 	defer a.mu.RUnlock()
 	if a.crashed {
@@ -827,24 +964,93 @@ func (a *Aggregator) Fold() *core.Report {
 		a.mu.RLock()
 		return core.FoldReports(a.finals...)
 	}
-	replies := make([]chan *core.Report, a.cfg.Shards)
-	for i, ch := range a.shards {
-		replies[i] = make(chan *core.Report, 1)
-		select {
-		case ch <- shardMsg{snap: replies[i]}:
-		case <-a.crashCh:
-			return core.NewReport()
-		}
-	}
-	snaps := make([]*core.Report, a.cfg.Shards)
-	for i := range replies {
-		select {
-		case snaps[i] = <-replies[i]:
-		case <-a.crashCh:
-			return core.NewReport()
-		}
+	snaps, _, ok := a.gatherSnaps(true)
+	if !ok {
+		return core.NewReport()
 	}
 	return core.FoldReports(snaps...)
+}
+
+// gatherSnaps collects one (snapshot, version) pair from every shard.
+// deep requests fresh clones that bypass the shard snapshot caches.
+// Callers must hold a.mu.RLock with the shards live; ok is false if a
+// crash unwound the gather.
+func (a *Aggregator) gatherSnaps(deep bool) (snaps []*core.Report, vers []uint64, ok bool) {
+	replies := make([]chan shardSnap, a.cfg.Shards)
+	for i, ch := range a.shards {
+		replies[i] = make(chan shardSnap, 1)
+		select {
+		case ch <- shardMsg{snap: replies[i], deep: deep}:
+		case <-a.crashCh:
+			return nil, nil, false
+		}
+	}
+	snaps = make([]*core.Report, a.cfg.Shards)
+	vers = make([]uint64, a.cfg.Shards)
+	for i := range replies {
+		select {
+		case s := <-replies[i]:
+			snaps[i], vers[i] = s.rep, s.version
+		case <-a.crashCh:
+			return nil, nil, false
+		}
+	}
+	return snaps, vers, true
+}
+
+// Delta answers a delta-snapshot poll: given the vector a client captured
+// from a previous response, it returns an immutable report holding only
+// the entries changed since then (plus the fleet's full health section,
+// which is absolute and rides every delta), the current vector, and
+// delta=true. A vector from another epoch (node restart), a different
+// shard count, or a torn-down aggregator cannot be compared — the reply
+// degrades to the full fold with delta=false, which is the self-healing
+// resync path.
+func (a *Aggregator) Delta(since VersionVector) (rep *core.Report, vec VersionVector, delta bool) {
+	if since.Epoch != a.epoch || len(since.Shards) != a.cfg.Shards {
+		rep, vec = a.FoldVersioned()
+		return rep, vec, false
+	}
+	a.mu.RLock()
+	if a.crashed || a.finalized {
+		a.mu.RUnlock()
+		rep, vec = a.FoldVersioned()
+		return rep, vec, false
+	}
+	replies := make([]chan shardSnap, a.cfg.Shards)
+	abort := func() (*core.Report, VersionVector, bool) {
+		a.mu.RUnlock()
+		a.metrics.foldErrors.Inc()
+		return core.NewReport(), VersionVector{}, false
+	}
+	for i, ch := range a.shards {
+		replies[i] = make(chan shardSnap, 1)
+		select {
+		case ch <- shardMsg{delta: replies[i], since: since.Shards[i]}:
+		case <-a.crashCh:
+			return abort()
+		}
+	}
+	deltas := make([]*core.Report, a.cfg.Shards)
+	vers := make([]uint64, a.cfg.Shards)
+	for i := range replies {
+		select {
+		case s := <-replies[i]:
+			deltas[i], vers[i] = s.rep, s.version
+		case <-a.crashCh:
+			return abort()
+		}
+	}
+	a.mu.RUnlock()
+	for i, v := range vers {
+		if v < since.Shards[i] {
+			// A shard version below the client's is impossible within one
+			// epoch; resync in full rather than serve a nonsense delta.
+			rep, vec = a.FoldVersioned()
+			return rep, vec, false
+		}
+	}
+	return core.FoldReportsShared(deltas...), VersionVector{Epoch: a.epoch, Shards: vers}, true
 }
 
 // Close drains and stops the aggregator: no new uploads are accepted, but

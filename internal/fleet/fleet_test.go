@@ -124,7 +124,7 @@ func TestConcurrentUploadsRace(t *testing.T) {
 // fragments pile into its channel, then the dispatcher blocks, then the
 // bounded intake queue fills.
 func wedgeShard(a *Aggregator, i int) (release func()) {
-	ch := make(chan *core.Report)
+	ch := make(chan shardSnap)
 	a.shards[i] <- shardMsg{snap: ch}
 	return func() { <-ch }
 }

@@ -36,6 +36,21 @@ type Metrics struct {
 	// foldLatency distributes whole-fleet fold (read-path) wall time.
 	foldLatency *obs.Histogram
 
+	// Incremental read-path accounting: foldErrors counts folds that
+	// degraded to an empty report because shard state was unreachable
+	// (crash unwound the gather) — the /healthz degraded marker;
+	// foldCacheHits counts folds served from the version-vector cache
+	// without re-merging; snapshotReuses counts shard snapshot requests
+	// answered by the cached COW snapshot (shard version unchanged);
+	// deltaRequests counts /v1/snapshot?since= polls answered with a
+	// delta; fullResyncs counts since= polls that degraded to a full
+	// snapshot (epoch/shard-count mismatch — the self-healing path).
+	foldErrors     *obs.Counter
+	foldCacheHits  *obs.Counter
+	snapshotReuses *obs.Counter
+	deltaRequests  *obs.Counter
+	fullResyncs    *obs.Counter
+
 	mu              sync.Mutex
 	merges          int64
 	mergedFragments int64
@@ -118,6 +133,16 @@ func newMetrics(queueCap int) *Metrics {
 		foldLatency: reg.Histogram("hangdoctor_fleet_fold_latency_ns",
 			"Wall time of folding every shard into one fleet report.",
 			obs.ExpBuckets(1024, 4, 12)),
+		foldErrors: reg.Counter("hangdoctor_fleet_fold_errors_total",
+			"Folds that returned an empty report because shard state was unreachable."),
+		foldCacheHits: reg.Counter("hangdoctor_fleet_fold_cache_hits_total",
+			"Folds served from the version-vector fold cache without re-merging."),
+		snapshotReuses: reg.Counter("hangdoctor_fleet_shard_snapshot_reuses_total",
+			"Shard snapshot requests answered by the cached copy-on-write snapshot."),
+		deltaRequests: reg.Counter("hangdoctor_fleet_delta_requests_total",
+			"Snapshot polls answered with a delta (changed entries only)."),
+		fullResyncs: reg.Counter("hangdoctor_fleet_full_resyncs_total",
+			"since= snapshot polls that degraded to a full snapshot (vector mismatch)."),
 	}
 	reg.GaugeFunc("hangdoctor_fleet_queue_capacity",
 		"Configured intake bound.",
@@ -178,6 +203,17 @@ type MetricsSnapshot struct {
 	MergedFragments int64 `json:"merged_fragments"`
 	// MergeNs is total wall time spent inside shard merges.
 	MergeNs int64 `json:"merge_ns"`
+	// FoldErrors counts folds that degraded to an empty report because
+	// shard state was unreachable; nonzero marks the node degraded.
+	FoldErrors int64 `json:"fold_errors"`
+	// FoldCacheHits counts folds served from the version-vector cache;
+	// SnapshotReuses counts shard snapshots served from the COW cache.
+	FoldCacheHits  int64 `json:"fold_cache_hits"`
+	SnapshotReuses int64 `json:"snapshot_reuses"`
+	// DeltaRequests counts snapshot polls answered with a delta;
+	// FullResyncs counts since= polls that degraded to a full snapshot.
+	DeltaRequests int64 `json:"delta_requests"`
+	FullResyncs   int64 `json:"full_resyncs"`
 	// QueueCapacity is the configured intake bound.
 	QueueCapacity int `json:"queue_capacity"`
 }
@@ -196,6 +232,11 @@ func (m *Metrics) Snapshot() MetricsSnapshot {
 		Merges:          merges,
 		MergedFragments: frags,
 		MergeNs:         ns,
+		FoldErrors:      m.foldErrors.Value(),
+		FoldCacheHits:   m.foldCacheHits.Value(),
+		SnapshotReuses:  m.snapshotReuses.Value(),
+		DeltaRequests:   m.deltaRequests.Value(),
+		FullResyncs:     m.fullResyncs.Value(),
 		QueueCapacity:   m.queueCap,
 	}
 }

@@ -224,16 +224,45 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 // the node half of the regional fold protocol. Because the encoding is
 // canonical, two nodes holding identical state serve identical bytes, and
 // a regional fold of node snapshots is byte-identical to folding the same
-// uploads on one node.
+// uploads on one node. Every response carries the node's version vector
+// (X-Hangdoctor-Vector); a client that echoes it back via ?since= gets a
+// delta — only the entries changed after that vector, plus the absolute
+// health section — marked X-Hangdoctor-Snapshot: delta. An incomparable
+// vector (node restart, shard-count change) degrades to a full snapshot,
+// so polling self-heals without client-side special cases.
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		w.Header().Set("Allow", http.MethodGet)
 		http.Error(w, "snapshot requires GET", http.StatusMethodNotAllowed)
 		return
 	}
-	doc := core.AppendReportBinary(nil, s.agg.Fold())
+	var (
+		rep  *core.Report
+		vec  VersionVector
+		kind = SnapshotFull
+	)
+	if sinceStr := r.URL.Query().Get("since"); sinceStr != "" {
+		since, err := ParseVersionVector(sinceStr)
+		if err != nil {
+			http.Error(w, fmt.Sprintf("invalid since vector: %v", err), http.StatusBadRequest)
+			return
+		}
+		var delta bool
+		rep, vec, delta = s.agg.Delta(since)
+		if delta {
+			kind = SnapshotDelta
+			s.agg.Metrics().deltaRequests.Inc()
+		} else {
+			s.agg.Metrics().fullResyncs.Inc()
+		}
+	} else {
+		rep, vec = s.agg.FoldVersioned()
+	}
+	doc := core.AppendReportBinary(nil, rep)
 	w.Header().Set("Content-Type", core.BinaryContentType)
 	w.Header().Set("Content-Length", strconv.Itoa(len(doc)))
+	w.Header().Set(VectorHeader, vec.String())
+	w.Header().Set(SnapshotKindHeader, kind)
 	w.Write(doc)
 }
 
@@ -241,11 +270,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// Once Close (or Crash) has begun the server can no longer accept
 	// uploads; report that as 503 "draining" so load balancers stop
 	// routing to it instead of reading an unconditional "ok".
+	snap := s.agg.Snapshot()
 	status, code := "ok", http.StatusOK
+	if snap.FoldErrors > 0 {
+		// Some fold served an empty report in place of real shard state; the
+		// node still answers (200) but readers should distrust its folds.
+		status = "degraded"
+	}
 	if s.agg.Draining() {
 		status, code = "draining", http.StatusServiceUnavailable
 	}
-	snap := s.agg.Snapshot()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	json.NewEncoder(w).Encode(map[string]any{
@@ -256,6 +290,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"accepted":       snap.Accepted,
 		"rejected":       snap.Rejected,
 		"invalid":        snap.Invalid,
+		"fold_errors":    snap.FoldErrors,
 	})
 }
 

@@ -1,0 +1,110 @@
+package fleet
+
+// version.go is the identity half of the delta snapshot protocol: a
+// VersionVector names an exact point in one aggregator's history — which
+// boot of which process (the epoch) and how far each shard's merge stream
+// had advanced (one monotonically increasing version per shard). A client
+// that polls /v1/snapshot?since=<vector> gets back only the entries that
+// changed after that point; any mismatch (node restart, shard-count
+// change, a vector from a different node) degrades to a full snapshot, so
+// a stale or garbled vector costs bandwidth, never correctness.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// VersionVector identifies a point in one aggregator's merge history.
+type VersionVector struct {
+	// Epoch identifies one aggregator instance (one boot of one process).
+	// Two vectors with different epochs are incomparable: shard versions
+	// restart from zero on every boot.
+	Epoch uint64
+	// Shards holds the per-shard state versions, indexed by shard.
+	Shards []uint64
+}
+
+// Zero reports whether the vector is the zero value (no state observed).
+func (v VersionVector) Zero() bool { return v.Epoch == 0 && len(v.Shards) == 0 }
+
+// Equal reports whether two vectors name the same point in the same
+// aggregator's history.
+func (v VersionVector) Equal(o VersionVector) bool {
+	if v.Epoch != o.Epoch || len(v.Shards) != len(o.Shards) {
+		return false
+	}
+	for i := range v.Shards {
+		if v.Shards[i] != o.Shards[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the canonical wire form "epoch:v0.v1.v2".
+func (v VersionVector) String() string {
+	var b strings.Builder
+	b.WriteString(strconv.FormatUint(v.Epoch, 10))
+	b.WriteByte(':')
+	for i, s := range v.Shards {
+		if i > 0 {
+			b.WriteByte('.')
+		}
+		b.WriteString(strconv.FormatUint(s, 10))
+	}
+	return b.String()
+}
+
+// ParseVersionVector parses the String form.
+func ParseVersionVector(s string) (VersionVector, error) {
+	epochStr, shardStr, ok := strings.Cut(s, ":")
+	if !ok {
+		return VersionVector{}, fmt.Errorf("fleet: version vector %q: missing ':'", s)
+	}
+	epoch, err := strconv.ParseUint(epochStr, 10, 64)
+	if err != nil {
+		return VersionVector{}, fmt.Errorf("fleet: version vector %q: bad epoch: %w", s, err)
+	}
+	v := VersionVector{Epoch: epoch}
+	if shardStr == "" {
+		return v, nil
+	}
+	for _, part := range strings.Split(shardStr, ".") {
+		sv, err := strconv.ParseUint(part, 10, 64)
+		if err != nil {
+			return VersionVector{}, fmt.Errorf("fleet: version vector %q: bad shard version: %w", s, err)
+		}
+		v.Shards = append(v.Shards, sv)
+	}
+	return v, nil
+}
+
+// epochCounter disambiguates aggregators opened within one clock tick.
+var epochCounter atomic.Uint64
+
+// newEpoch returns an epoch unique across process boots (wall time) and
+// across aggregators within one process (counter). Epoch 0 is reserved
+// for "no epoch".
+func newEpoch() uint64 {
+	e := uint64(time.Now().UnixNano()) + epochCounter.Add(1)
+	if e == 0 {
+		e = 1
+	}
+	return e
+}
+
+// Snapshot-protocol HTTP surface: the node advertises its vector and
+// whether the body is a full snapshot or a delta.
+const (
+	// VectorHeader carries the serving node's current VersionVector on
+	// /v1/snapshot responses; a client echoes it back via ?since=.
+	VectorHeader = "X-Hangdoctor-Vector"
+	// SnapshotKindHeader is "full" or "delta".
+	SnapshotKindHeader = "X-Hangdoctor-Snapshot"
+	// SnapshotFull and SnapshotDelta are the SnapshotKindHeader values.
+	SnapshotFull  = "full"
+	SnapshotDelta = "delta"
+)
