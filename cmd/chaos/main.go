@@ -22,6 +22,18 @@
 //	chaos -storage torn -rates 0,0.05,0.1     # torn writes under crash recovery
 //	chaos -storage all                        # torn + fsync + disk-full together
 //
+// A third mode drives the virtual-time fleet simulation engine
+// (internal/sim) into a durable aggregator whose WAL sits on a
+// fault-injected filesystem — fleet-scale load meeting a sick disk:
+//
+//	chaos -fleetscale torn -rates 0,0.1,0.5   # engine vs torn WAL appends
+//	chaos -fleetscale all                     # torn + fsync + disk-full
+//
+// Each fleetscale cell asserts the ack contract under load: uploads whose
+// merge was acknowledged survive a close/reopen byte-identically, failed
+// appends surface as ack errors (engine Failed count), and the rate-0
+// cell folds byte-identical to a clean in-memory reference run.
+//
 // Each storage cell runs a durable fleet aggregator against a fault-injected
 // WAL, kills it at a random point mid-load, recovers the directory, and
 // asserts the recovery contract: every acknowledged upload survives, and
@@ -50,6 +62,7 @@ import (
 	"hangdoctor/internal/fault"
 	"hangdoctor/internal/fleet"
 	"hangdoctor/internal/obs"
+	"hangdoctor/internal/sim"
 	"hangdoctor/internal/simclock"
 	"hangdoctor/internal/simrand"
 )
@@ -108,6 +121,9 @@ func main() {
 	ratesFlag := flag.String("rates", "0,0.1,0.25,0.5,0.75,1", "comma-separated fault rates to sweep")
 	storage := flag.String("storage", "", "sweep the storage plane instead: torn|fsync|full|short|corrupt|all")
 	uploadsFlag := flag.Int("uploads", 48, "durable uploads per storage-sweep cell")
+	fleetscale := flag.String("fleetscale", "", "drive the fleet simulation engine against a durable WAL under write faults: torn|fsync|full|all")
+	fleetDevices := flag.Int("fleet-devices", 2000, "devices in each -fleetscale cell")
+	fleetUploads := flag.Int64("fleet-uploads", 10_000, "uploads in each -fleetscale cell")
 	flag.Parse()
 
 	var rates []float64
@@ -121,6 +137,10 @@ func main() {
 	}
 	if *storage != "" {
 		runStorageSweep(*storage, rates, *seed, *uploadsFlag)
+		return
+	}
+	if *fleetscale != "" {
+		runFleetscaleSweep(*fleetscale, rates, *seed, *fleetDevices, *fleetUploads)
 		return
 	}
 	apps := strings.Split(*appsFlag, ",")
@@ -384,6 +404,132 @@ func storageRound(sr fault.StorageRates, readFault bool, seed uint64, uploads in
 	cell.truncated = msnap.Value("hangdoctor_fleet_wal_truncated_tails_total")
 	cell.corrupt = msnap.Value("hangdoctor_fleet_wal_corrupt_records_total")
 	return cell, nil
+}
+
+// ---------------------------------------------------------------------------
+// Fleetscale sweep: the simulation engine against a faulty durable WAL
+
+// runFleetscaleSweep runs the full fleet simulation engine into a durable
+// aggregator whose WAL writes through a fault-injected filesystem, one
+// cell per rate. The contract under fleet-scale load: append failures
+// surface as ack errors (the engine's Failed count — never silent loss),
+// whatever the aggregator acknowledged survives a close/reopen
+// byte-identically, and the fault-free cell is byte-identical to a clean
+// in-memory reference run of the same seed.
+func runFleetscaleSweep(kind string, rates []float64, seed uint64, devices int, uploads int64) {
+	switch kind {
+	case "torn", "fsync", "full", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown fleetscale fault kind %q (want torn|fsync|full|all)\n", kind)
+		os.Exit(2)
+	}
+	simCfg := func() sim.Config {
+		return sim.Config{
+			Devices: devices,
+			Uploads: uploads,
+			Entries: 4,
+			Workers: 4,
+			Seed:    int64(seed),
+		}
+	}
+
+	// The clean reference: same fleet, no WAL, no faults.
+	refAgg := fleet.NewAggregator(fleet.Config{Shards: 4})
+	cfg := simCfg()
+	cfg.Agg = refAgg
+	eng, err := sim.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	refStats, err := eng.Run()
+	if err != nil || refStats.Failed != 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: clean reference run: err=%v stats=%s\n", err, refStats)
+		os.Exit(1)
+	}
+	refAgg.Close()
+	want, err := exportReport(refAgg.Fold())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("chaos fleetscale sweep: fault=%s devices=%d uploads=%d seed=%d\n\n", kind, devices, uploads, seed)
+	fmt.Printf("%6s %9s %8s %11s %9s %12s\n",
+		"rate", "delivered", "failed", "append-errs", "reopened", "clean-ident")
+	failed := false
+	for ri, rate := range rates {
+		sr, err := storageRatesFor(kind, rate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		dir, err := os.MkdirTemp("", "chaos-fleetscale-")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		in := fault.NewStorage(seed+uint64(ri)*7919, sr)
+		walCfg := func(fs fault.FS) fleet.Config {
+			return fleet.Config{
+				Shards: 4, QueueDepth: 256, BatchSize: 4,
+				WAL: &fleet.WALConfig{Dir: dir, Sync: fleet.SyncBatch, CompactEvery: 16, FS: fs},
+			}
+		}
+		agg, err := openRetry(walCfg(fault.FaultyFS(fault.DiskFS, in)), 100)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: rate %.2f: open under injection: %v\n", rate, err)
+			os.Exit(1)
+		}
+		cfg := simCfg()
+		cfg.Agg = agg
+		eng, err := sim.New(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st, err := eng.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: rate %.2f: engine run: %v\n", rate, err)
+			os.Exit(1)
+		}
+		agg.Close()
+		pre, err := exportReport(agg.Fold())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		appendErrs := agg.Metrics().Registry().Snapshot().Value("hangdoctor_fleet_wal_append_errors_total")
+
+		// Reopen on a clean filesystem: recovery must reproduce exactly the
+		// state the aggregator acknowledged and folded before closing.
+		recovered, err := openRetry(walCfg(nil), 10)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL: rate %.2f: reopen: %v\n", rate, err)
+			os.Exit(1)
+		}
+		recovered.Close()
+		got, err := exportReport(recovered.Fold())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.RemoveAll(dir)
+
+		reopened := bytes.Equal(got, pre)
+		cleanIdent := rate > 0 || (st.Failed == 0 && bytes.Equal(pre, want))
+		fmt.Printf("%6.2f %9d %8d %11d %9v %12v\n",
+			rate, st.Uploads, st.Failed, appendErrs, reopened,
+			map[bool]string{true: "ok", false: "MISMATCH"}[cleanIdent])
+		if st.Uploads+st.Failed != uploads || !reopened || !cleanIdent {
+			failed = true
+		}
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "\nFAIL: fleetscale sweep lost uploads silently, diverged on reopen, or missed the clean reference")
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: every upload acked or failed loudly; reopen is byte-identical; rate 0 matches the clean reference")
 }
 
 func openRetry(cfg fleet.Config, attempts int) (*fleet.Aggregator, error) {

@@ -1,12 +1,13 @@
 // Command fleetload drives load against the fleet ingestion layer: over
 // HTTP against running fleetd nodes (JSON or the binary wire encoding,
 // with consistent-hash routing across multiple nodes), in-process against
-// the shard layer itself, or as a full fleet *simulation* — a million
-// devices uploading on a realistic cadence through per-device dictionary
-// encoders, exercising encoder/decoder eviction and the 409 resync
-// protocol end to end. The in-process mode sweeps shard counts so the
-// scaling claim (throughput grows with shards on a multicore host) is
-// reproducible from one command.
+// the shard layer itself, or as a full fleet *simulation* through the
+// sharded virtual-time engine in internal/sim — millions of devices
+// uploading on a realistic cadence, in-process straight into the
+// aggregator or over HTTP with real dictionary deltas and 409 resyncs.
+// The in-process mode sweeps shard counts so the scaling claim
+// (throughput grows with shards on a multicore host) is reproducible from
+// one command.
 //
 // Usage:
 //
@@ -14,14 +15,12 @@
 //	fleetload -url http://node1:8717,http://node2:8717 -binary -uploads 5000
 //	fleetload -inproc -sweep 1,2,4,8 -uploads 2000
 //	fleetload -sim -sim-devices 1000000 -sim-uploads 2000000
+//	fleetload -sim -url http://node1:8717,http://node2:8717 -sim-devices 4096
 package main
 
 import (
 	"bytes"
-	"container/heap"
-	"container/list"
 	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -36,13 +35,14 @@ import (
 	"hangdoctor/internal/core"
 	"hangdoctor/internal/fleet"
 	"hangdoctor/internal/obs"
+	"hangdoctor/internal/sim"
 	"hangdoctor/internal/simrand"
 )
 
 func main() {
 	url := flag.String("url", "", "fleetd base URL(s), comma-separated for ring routing; empty with -inproc/-sim")
 	inproc := flag.Bool("inproc", false, "bench the shard layer in-process instead of over HTTP")
-	sim := flag.Bool("sim", false, "run the in-process fleet simulation (devices on a cadence, dictionary deltas)")
+	simFlag := flag.Bool("sim", false, "run the fleet simulation engine (in-process without -url, HTTP against -url nodes)")
 	binary := flag.Bool("binary", false, "upload in the binary wire encoding with per-device dictionaries")
 	sweep := flag.String("sweep", "1,2,4,8", "comma-separated shard counts for -inproc")
 	uploads := flag.Int("uploads", 500, "number of device uploads to send")
@@ -51,20 +51,35 @@ func main() {
 	seed := flag.Int64("seed", 1, "base PRNG seed for synthetic uploads")
 	maxRetries := flag.Int("max-retries", 8, "give up on an upload after this many 429 retries")
 	simDevices := flag.Int("sim-devices", 1_000_000, "distinct devices in the -sim fleet")
-	simUploads := flag.Int("sim-uploads", 2_000_000, "total uploads the -sim fleet sends")
+	simUploads := flag.Int64("sim-uploads", 2_000_000, "total uploads the -sim fleet sends")
 	simEntries := flag.Int("sim-entries", 4, "root causes per -sim upload (devices report small deltas often)")
-	simShards := flag.Int("sim-shards", 8, "aggregator shards for -sim")
-	simDict := flag.Int("sim-dict", 250_000, "server-side dictionary cache (devices) for -sim; smaller than the fleet forces resyncs")
+	simShards := flag.Int("sim-shards", 8, "aggregator shards for in-process -sim")
+	simWorkers := flag.Int("sim-workers", 0, "simulation worker shards (0 = GOMAXPROCS)")
+	simEpochMS := flag.Int64("sim-epoch-ms", 60_000, "virtual-time barrier interval in simulated ms")
+	simRestartEvery := flag.Int64("sim-restart-every", 512, "1/N chance an upload follows a device restart (dictionary reset)")
+	simBatch := flag.Int("sim-batch", 64, "device uploads coalesced per aggregator submission (in-process -sim)")
 	poll := flag.Duration("poll", 0, "while sending over HTTP, delta-poll the node(s) at this interval (0 = off)")
 	flag.Parse()
 
 	var stopPoll func()
-	if *poll > 0 && *url != "" && !*inproc && !*sim {
+	if *poll > 0 && *url != "" && !*inproc && !*simFlag {
 		stopPoll = startPoller(splitNodes(*url), *poll)
 	}
 	switch {
-	case *sim:
-		runSim(*simDevices, *simUploads, *simEntries, *simShards, *simDict, *seed)
+	case *simFlag:
+		runSim(simArgs{
+			urls:         *url,
+			devices:      *simDevices,
+			uploads:      *simUploads,
+			entries:      *simEntries,
+			shards:       *simShards,
+			workers:      *simWorkers,
+			epochMS:      *simEpochMS,
+			restartEvery: *simRestartEvery,
+			batch:        *simBatch,
+			seed:         *seed,
+			maxRetries:   *maxRetries,
+		})
 	case *inproc:
 		runInproc(*sweep, *uploads, *entries, *conc, *seed)
 	case *url != "" && *binary:
@@ -72,7 +87,7 @@ func main() {
 	case *url != "":
 		runHTTP(*url, *uploads, *entries, *conc, *seed, *maxRetries)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: fleetload -url <fleetd>[,<fleetd>...] [-binary] | fleetload -inproc [-sweep 1,2,4,8] | fleetload -sim")
+		fmt.Fprintln(os.Stderr, "usage: fleetload -url <fleetd>[,<fleetd>...] [-binary] | fleetload -inproc [-sweep 1,2,4,8] | fleetload -sim [-url <fleetd>,...]")
 		os.Exit(2)
 	}
 	if stopPoll != nil {
@@ -142,6 +157,21 @@ func splitNodes(urls string) []string {
 	return nodes
 }
 
+// tunedClient is the one HTTP client every sender shares. The default
+// transport keeps only two idle connections per host, so at -conc 16 most
+// sends would re-dial (and re-handshake) mid-run; sizing the idle pool to
+// the sender count keeps every sender's connection warm.
+func tunedClient(conc int) *http.Client {
+	return &http.Client{
+		Timeout: 30 * time.Second,
+		Transport: &http.Transport{
+			MaxIdleConns:        2 * conc,
+			MaxIdleConnsPerHost: conc,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}
+
 func runHTTP(base string, uploads, entries, conc int, seed int64, maxRetries int) {
 	base = splitNodes(base)[0]
 	docs := payloads(uploads, entries, seed)
@@ -156,7 +186,7 @@ func runHTTP(base string, uploads, entries, conc int, seed int64, maxRetries int
 		"Round-trip wall time of one upload POST.", obs.ExpBuckets(0.25, 2, 16))
 	var wg sync.WaitGroup
 	next := make(chan []byte)
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := tunedClient(conc)
 	start := time.Now()
 	for w := 0; w < conc; w++ {
 		wg.Add(1)
@@ -165,10 +195,20 @@ func runHTTP(base string, uploads, entries, conc int, seed int64, maxRetries int
 		rng := simrand.New(uint64(seed)).Derive("fleetload/retry").Derive(strconv.Itoa(w))
 		go func() {
 			defer wg.Done()
+			// One reusable request body per sender: a POST is fully read
+			// before the next begins, so the reader recycles cleanly.
+			body := bytes.NewReader(nil)
 			for doc := range next {
 				for retries := 0; ; retries++ {
 					t0 := time.Now()
-					resp, err := client.Post(base+"/v1/upload", "application/json", bytes.NewReader(doc))
+					body.Reset(doc)
+					req, err := http.NewRequest(http.MethodPost, base+"/v1/upload", body)
+					if err != nil {
+						failed.Inc()
+						break
+					}
+					req.Header.Set("Content-Type", "application/json")
+					resp, err := client.Do(req)
 					if err != nil {
 						failed.Inc()
 						break
@@ -239,16 +279,23 @@ func runHTTPBinary(urls string, uploads, entries, conc int, seed int64, maxRetri
 	latency := reg.Histogram("fleetload_upload_latency_ms",
 		"Round-trip wall time of one upload POST.", obs.ExpBuckets(0.25, 2, 16))
 	var wg sync.WaitGroup
+	client := tunedClient(conc)
 	start := time.Now()
 	for w := 0; w < conc; w++ {
 		wg.Add(1)
 		rng := simrand.New(uint64(seed)).Derive("fleetload/retry").Derive(strconv.Itoa(w))
 		go func(w int) {
 			defer wg.Done()
-			client := &http.Client{Timeout: 30 * time.Second}
+			body := bytes.NewReader(nil)
 			post := func(node string, doc []byte) (int, error) {
 				t0 := time.Now()
-				resp, err := client.Post(node+"/v1/upload", core.BinaryContentType, bytes.NewReader(doc))
+				body.Reset(doc)
+				req, err := http.NewRequest(http.MethodPost, node+"/v1/upload", body)
+				if err != nil {
+					return 0, err
+				}
+				req.Header.Set("Content-Type", core.BinaryContentType)
+				resp, err := client.Do(req)
 				if err != nil {
 					return 0, err
 				}
@@ -370,172 +417,71 @@ func runInproc(sweep string, uploads, entries, conc int, seed int64) {
 // ---------------------------------------------------------------------------
 // Fleet simulation
 
-// devLRU is a bounded device→state map (client encoders on one side,
-// server decoders on the other). Eviction is the point: a fleet has more
-// devices than either side can hold dictionaries for, and the simulation
-// measures how often the resulting resyncs actually happen at a realistic
-// cadence.
-type devLRU struct {
-	cap     int
-	l       *list.List
-	m       map[int32]*list.Element
-	evicted int64
+type simArgs struct {
+	urls         string
+	devices      int
+	uploads      int64
+	entries      int
+	shards       int
+	workers      int
+	epochMS      int64
+	restartEvery int64
+	batch        int
+	seed         int64
+	maxRetries   int
 }
 
-type devItem struct {
-	key int32
-	val any
-}
-
-func newDevLRU(cap int) *devLRU {
-	return &devLRU{cap: cap, l: list.New(), m: make(map[int32]*list.Element)}
-}
-
-// get returns the device's state, bumping it to most-recently-used.
-func (c *devLRU) get(k int32) (any, bool) {
-	el, ok := c.m[k]
-	if !ok {
-		return nil, false
+// runSim drives the sharded virtual-time engine (internal/sim). Without
+// -url the fleet uploads in-process straight into a sharded aggregator
+// (the decoded-wire zero-copy path, batched); with -url the fleet speaks
+// the real binary protocol against the given fleetd nodes — dictionary
+// deltas, device restarts, 409 resyncs, 429 backpressure — with devices
+// ring-routed to nodes exactly like production clients. The old
+// single-goroutine, single-heap scheduler this replaces lives on only as
+// the baseline-pr7 row of BenchmarkSimEngine.
+func runSim(a simArgs) {
+	cfg := sim.Config{
+		Devices:      a.devices,
+		Uploads:      a.uploads,
+		Entries:      a.entries,
+		Workers:      a.workers,
+		Seed:         a.seed,
+		EpochMS:      a.epochMS,
+		RestartEvery: a.restartEvery,
+		Batch:        a.batch,
+		MaxRetries:   a.maxRetries,
 	}
-	c.l.MoveToFront(el)
-	return el.Value.(*devItem).val, true
-}
-
-// put inserts fresh state, evicting the coldest device beyond capacity.
-func (c *devLRU) put(k int32, v any) {
-	c.m[k] = c.l.PushFront(&devItem{key: k, val: v})
-	for len(c.m) > c.cap {
-		oldest := c.l.Back()
-		c.l.Remove(oldest)
-		delete(c.m, oldest.Value.(*devItem).key)
-		c.evicted++
+	var agg *fleet.Aggregator
+	mode := "http"
+	if a.urls == "" {
+		agg = fleet.NewAggregator(fleet.Config{Shards: a.shards, QueueDepth: 4096})
+		cfg.Agg = agg
+		mode = "inproc"
+	} else {
+		cfg.Nodes = splitNodes(a.urls)
 	}
-}
-
-// simEvent is one device's next scheduled upload in simulated time.
-type simEvent struct {
-	at  int64 // simulated milliseconds
-	dev int32
-}
-
-// simHeap is a min-heap of upcoming uploads ordered by simulated time
-// (ties by device, keeping the schedule deterministic).
-type simHeap []simEvent
-
-func (h simHeap) Len() int { return len(h) }
-func (h simHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	eng, err := sim.New(cfg)
+	if err != nil {
+		log.Fatalf("fleetload: %v", err)
 	}
-	return h[i].dev < h[j].dev
-}
-func (h simHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *simHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
-func (h *simHeap) Pop() any     { old := *h; x := old[len(old)-1]; *h = old[:len(old)-1]; return x }
-
-// runSim drives a simulated fleet through the whole binary ingest path
-// in-process: `devices` devices upload every ~1 simulated hour (jittered
-// phase and period, min-heap ordered), each through its own dictionary
-// encoder; the server side decodes against a bounded per-device decoder
-// cache and submits the decoded wire entries to a sharded aggregator via
-// the zero-copy path. Both caches are smaller than the fleet, so encoder
-// restarts (full-dictionary resends) and decoder evictions (409-style
-// resyncs) occur at their natural rate.
-func runSim(devices, uploads, entries, shards, dictCap int, seed int64) {
-	if devices < 1 || uploads < 1 {
-		log.Fatal("fleetload: -sim-devices and -sim-uploads must be positive")
+	fmt.Printf("simulating %d devices, %d uploads (%d entries each): %s sink, %d workers\n",
+		a.devices, a.uploads, a.entries, mode, eng.Workers())
+	st, err := eng.Run()
+	if err != nil {
+		log.Fatalf("fleetload: sim run: %v", err)
 	}
-	fmt.Printf("simulating %d devices, %d uploads (%d entries each), %d shards, %d-device server dictionary cache\n",
-		devices, uploads, entries, shards, dictCap)
-	agg := fleet.NewAggregator(fleet.Config{Shards: shards, QueueDepth: 4096})
-	rng := simrand.New(uint64(seed)).Derive("fleetload/sim")
-
-	// Every device starts at a random phase within the first simulated hour.
-	const hourMS = 3_600_000
-	sched := make(simHeap, devices)
-	for d := range sched {
-		sched[d] = simEvent{at: rng.Int63n(hourMS), dev: int32(d)}
+	fmt.Printf("sim: delivered %d uploads in %v: %.0f uploads/s, %.3g simulated device-seconds/s\n",
+		st.Uploads, st.Wall.Round(time.Millisecond), float64(st.Uploads)/st.Wall.Seconds(),
+		st.DeviceSecondsPerSec())
+	fmt.Printf("sim: failed=%d resyncs=%d server-resyncs=%d throttled=%d epochs=%d wire=%.1f MiB\n",
+		st.Failed, st.Resyncs, st.ServerResyncs, st.Throttled, st.Epochs,
+		float64(st.WireBytes)/(1<<20))
+	if agg != nil {
+		agg.Close()
+		rep := agg.Fold()
+		fmt.Printf("fleet report: %d root causes, %d diagnosed hangs\n", rep.Len(), rep.TotalHangs())
 	}
-	heap.Init(&sched)
-
-	// Client encoder state lives on the devices themselves, so it outlasts
-	// the server's bounded cache — but devices do restart, so bound the
-	// simulation's encoder pool at 4x the server cache: evictions there
-	// model device restarts (base-0 full resend), while the server evicting
-	// a still-live encoder's dictionary produces the 409 resync.
-	encCap := 4 * dictCap
-	if encCap < 1 {
-		encCap = 1
+	if st.Failed > 0 {
+		os.Exit(1)
 	}
-	encs := newDevLRU(encCap)
-	decs := newDevLRU(dictCap)
-
-	var resyncs, binBytes, jsonSample, binSample int64
-	seq := make(map[int32]int64, devices/8)
-	start := time.Now()
-	for u := 0; u < uploads; u++ {
-		ev := sched[0]
-		seq[ev.dev]++
-		device := fmt.Sprintf("device-%07d", ev.dev)
-		rep := fleet.SyntheticUpload(seed+int64(ev.dev)*7919+seq[ev.dev], device, entries)
-
-		var enc *core.BinaryEncoder
-		if v, ok := encs.get(ev.dev); ok {
-			enc = v.(*core.BinaryEncoder)
-		} else {
-			enc = core.NewBinaryEncoder(device)
-			encs.put(ev.dev, enc)
-		}
-		doc := enc.Encode(rep)
-
-		var dec *core.BinaryDecoder
-		if v, ok := decs.get(ev.dev); ok {
-			dec = v.(*core.BinaryDecoder)
-		} else {
-			dec = core.NewBinaryDecoder()
-			decs.put(ev.dev, dec)
-		}
-		wr, err := dec.Decode(doc)
-		if err != nil {
-			var dm *core.DictMismatchError
-			if !errors.As(err, &dm) {
-				log.Fatalf("sim: device %s upload rejected: %v", device, err)
-			}
-			// The server evicted this device's dictionary: the 409 resync.
-			resyncs++
-			enc.Reset()
-			doc = enc.Encode(rep)
-			if wr, err = dec.Decode(doc); err != nil {
-				log.Fatalf("sim: resync resend rejected: %v", err)
-			}
-		}
-		binBytes += int64(len(doc))
-		if u%64 == 0 {
-			var buf bytes.Buffer
-			if err := rep.Export(&buf); err == nil {
-				jsonSample += int64(buf.Len())
-				binSample += int64(len(doc))
-			}
-		}
-		if err := agg.SubmitWireWait(wr); err != nil {
-			log.Fatalf("sim: submit: %v", err)
-		}
-
-		// Reschedule the device ~1 simulated hour out, jittered ±10%.
-		sched[0].at = ev.at + hourMS - hourMS/10 + rng.Int63n(hourMS/5)
-		heap.Fix(&sched, 0)
-	}
-	agg.Close()
-	el := time.Since(start)
-	rep := agg.Fold()
-	ratio := 0.0
-	if binSample > 0 {
-		ratio = float64(jsonSample) / float64(binSample)
-	}
-	fmt.Printf("ingested %d uploads in %v: %.0f uploads/s wall\n",
-		uploads, el.Round(time.Millisecond), float64(uploads)/el.Seconds())
-	fmt.Printf("wire: %.1f MiB binary (%.1fx smaller than JSON, sampled), %d resyncs, %d encoder restarts, %d decoder evictions\n",
-		float64(binBytes)/(1<<20), ratio, resyncs, encs.evicted, decs.evicted)
-	fmt.Printf("fleet report: %d root causes, %d diagnosed hangs from %d active devices\n",
-		rep.Len(), rep.TotalHangs(), len(seq))
 }

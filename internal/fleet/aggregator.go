@@ -108,17 +108,33 @@ type upload struct {
 	ack  *uploadAck
 }
 
-// uploadAck gathers per-shard outcomes for one durable submission: done
-// closes once every routed fragment has either become durable, been
-// deduplicated, or failed; err holds the first failure.
+// uploadAck gathers per-shard outcomes for one submission. Completion is
+// delivered one of two ways: blocking waiters (SubmitDurable) wait on done,
+// which closes once every routed fragment has either become durable, been
+// deduplicated, or failed; callback acks (SubmitWireAcked) carry fn instead,
+// invoked once with the first failure (or nil) — fn-based acks have no done
+// channel and are reusable across submissions. err holds the first failure.
 type uploadAck struct {
 	remaining atomic.Int32
 	mu        sync.Mutex
 	err       error
 	done      chan struct{}
+	fn        func(error)
 }
 
 func newUploadAck() *uploadAck { return &uploadAck{done: make(chan struct{})} }
+
+// finish delivers the gathered outcome: the callback for fn-based acks,
+// closing done for channel-based ones. Called exactly once per submission —
+// by the last complete(), or directly by the dispatcher when an upload
+// routed zero fragments.
+func (a *uploadAck) finish() {
+	if a.fn != nil {
+		a.fn(a.firstErr())
+		return
+	}
+	close(a.done)
+}
 
 // complete records one fragment outcome; the last one releases the waiter.
 func (a *uploadAck) complete(err error) {
@@ -133,7 +149,7 @@ func (a *uploadAck) complete(err error) {
 		a.mu.Unlock()
 	}
 	if a.remaining.Add(-1) == 0 {
-		close(a.done)
+		a.finish()
 	}
 }
 
@@ -455,6 +471,82 @@ func (a *Aggregator) SubmitWireWait(wr *core.WireReport) error {
 	return nil
 }
 
+// WireAck is a reusable merge-completion acknowledgement for
+// SubmitWireAcked. Unlike SubmitWireWait — which returns as soon as the
+// upload is queued — an acked submission notifies the callback only after
+// every routed fragment has merged (or, durably, passed the WAL barrier).
+// That is the signal a zero-copy producer needs to recycle the buffer its
+// wire entries alias: WireReport.Split copies entry values into per-shard
+// slices, but the Devices strings still point into the producer's encode
+// buffer until the shards are done with them.
+//
+// A WireAck tracks one in-flight submission at a time; reusing it for the
+// next upload is only legal after the callback fires. The callback runs on
+// an aggregator goroutine — it must be cheap and must not call back into
+// the aggregator.
+type WireAck struct {
+	ack uploadAck
+}
+
+// NewWireAck returns a reusable ack whose fn is invoked once per
+// acknowledged submission with the first fragment error (nil on success).
+func NewWireAck(fn func(error)) *WireAck {
+	if fn == nil {
+		panic("fleet: NewWireAck requires a callback")
+	}
+	w := &WireAck{}
+	w.ack.fn = fn
+	return w
+}
+
+// uploadPool recycles upload envelopes on the acked wire path, where a
+// steady-state producer submits millions of uploads and the envelope would
+// otherwise be the last per-submission allocation.
+var uploadPool = sync.Pool{New: func() any { return new(upload) }}
+
+func putUpload(u *upload) {
+	*u = upload{}
+	uploadPool.Put(u)
+}
+
+// SubmitWireAcked enqueues one decoded binary upload on the zero-copy path
+// and arranges for wa's callback to fire when every routed fragment has
+// merged. It blocks for queue space like SubmitWireWait (producers that
+// want backpressure, not rejection); ErrClosed and ErrCrashed are returned
+// synchronously, and then the callback never fires — the caller still owns
+// the buffer.
+func (a *Aggregator) SubmitWireAcked(wr *core.WireReport, wa *WireAck) error {
+	a.mu.RLock()
+	if a.closed {
+		a.mu.RUnlock()
+		a.metrics.rejected.Inc()
+		return ErrClosed
+	}
+	wa.ack.mu.Lock()
+	wa.ack.err = nil
+	wa.ack.mu.Unlock()
+	wa.ack.remaining.Store(0)
+	u := uploadPool.Get().(*upload)
+	u.wire, u.ack = wr, &wa.ack
+	select {
+	case a.intake <- u:
+		a.metrics.accepted.Inc()
+		a.mu.RUnlock()
+		return nil
+	case <-a.crashCh:
+		a.mu.RUnlock()
+		putUpload(u)
+		a.metrics.rejected.Inc()
+		return ErrCrashed
+	}
+}
+
+// Crashed returns a channel that closes when the aggregator is torn down
+// abruptly via Crash. Producers blocked on resources owned by in-flight
+// acks (pooled upload buffers whose callbacks will never fire) select on it
+// to unwind instead of deadlocking.
+func (a *Aggregator) Crashed() <-chan struct{} { return a.crashCh }
+
 // SubmitDurable enqueues one upload and waits until every routed fragment
 // is durable per the WAL's sync policy (or, without a WAL, merged). id is
 // the upload's content hash (ComputeUploadID over the raw document, or
@@ -501,54 +593,63 @@ func (a *Aggregator) runDispatcher() {
 	defer a.dispatchWG.Done()
 	durable := a.cfg.WAL != nil
 	for u := range a.intake {
-		if u.wire != nil {
-			if durable {
-				// The WAL logs report fragments; materialize once so the
-				// durable path below stays uniform (the canonical identity
-				// is derived right after, like any other submit).
-				u.rep = u.wire.Report()
-				u.wire = nil
-			} else {
-				if !a.dispatchWire(u) {
-					return
-				}
-				continue
-			}
+		if !a.dispatchOne(u, durable) {
+			return
 		}
-		if durable && u.id == (UploadID{}) {
-			// Non-durable submit on a durable aggregator: the log record
-			// still needs an identity, derived here off the hot Submit path.
-			id, err := ReportUploadID(u.rep)
-			if err == nil {
-				u.id = id
-			}
-		}
-		frags := u.rep.Split(a.cfg.Shards)
-		if u.ack != nil {
-			n := 0
-			for _, frag := range frags {
-				if frag != nil {
-					n++
-				}
-			}
-			if n == 0 {
-				close(u.ack.done)
-				continue
-			}
-			// The count must be set before the first fragment can complete.
-			u.ack.remaining.Store(int32(n))
-		}
-		for i, frag := range frags {
-			if frag == nil {
-				continue
-			}
-			select {
-			case a.shards[i] <- shardMsg{frag: frag, id: u.id, ack: u.ack}:
-			case <-a.crashCh:
-				return
-			}
+		// Everything the shards need was copied into shardMsgs; the
+		// envelope itself is free to recycle.
+		putUpload(u)
+	}
+}
+
+// dispatchOne splits one upload into per-shard fragments and routes them.
+// It returns false if a crash unwound the dispatcher mid-route.
+func (a *Aggregator) dispatchOne(u *upload, durable bool) bool {
+	if u.wire != nil {
+		if durable {
+			// The WAL logs report fragments; materialize once so the
+			// durable path below stays uniform (the canonical identity
+			// is derived right after, like any other submit).
+			u.rep = u.wire.Report()
+			u.wire = nil
+		} else {
+			return a.dispatchWire(u)
 		}
 	}
+	if durable && u.id == (UploadID{}) {
+		// Non-durable submit on a durable aggregator: the log record
+		// still needs an identity, derived here off the hot Submit path.
+		id, err := ReportUploadID(u.rep)
+		if err == nil {
+			u.id = id
+		}
+	}
+	frags := u.rep.Split(a.cfg.Shards)
+	if u.ack != nil {
+		n := 0
+		for _, frag := range frags {
+			if frag != nil {
+				n++
+			}
+		}
+		if n == 0 {
+			u.ack.finish()
+			return true
+		}
+		// The count must be set before the first fragment can complete.
+		u.ack.remaining.Store(int32(n))
+	}
+	for i, frag := range frags {
+		if frag == nil {
+			continue
+		}
+		select {
+		case a.shards[i] <- shardMsg{frag: frag, id: u.id, ack: u.ack}:
+		case <-a.crashCh:
+			return false
+		}
+	}
+	return true
 }
 
 // dispatchWire routes a decoded binary upload's entries to their shards by
@@ -560,6 +661,20 @@ func (a *Aggregator) dispatchWire(u *upload) bool {
 	var h *core.Health
 	if !health.Zero() {
 		h = &health
+	}
+	if u.ack != nil {
+		n := 0
+		for i, entries := range frags {
+			if entries != nil || (i == 0 && h != nil) {
+				n++
+			}
+		}
+		if n == 0 {
+			u.ack.finish()
+			return true
+		}
+		// The count must be set before the first routed fragment completes.
+		u.ack.remaining.Store(int32(n))
 	}
 	for i, entries := range frags {
 		var eh *core.Health

@@ -238,8 +238,8 @@ func TestReportExportFailure(t *testing.T) {
 		t.Fatal(err)
 	}
 	srv := NewServer(agg)
-	srv.exportReport = func(*core.Report) ([]byte, error) {
-		return nil, errors.New("simulated downstream export failure")
+	srv.exportReport = func(*core.Report, *bytes.Buffer) error {
+		return errors.New("simulated downstream export failure")
 	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()

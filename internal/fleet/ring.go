@@ -87,6 +87,12 @@ func (r *Ring) Node(key string) string {
 // Nodes returns the ring's member list in construction order.
 func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
 
+// RingHash exposes the ring's key hash. The simulation engine uses it to
+// partition devices across workers with the same function that routes them
+// across nodes, so one worker's devices land on a stable node set and a
+// worker count change never perturbs device→node affinity.
+func RingHash(key string) uint64 { return ringHash(key) }
+
 // ringHash is FNV-1a with a murmur-style finalizer, inlined so routing a
 // device allocates nothing. The finalizer matters: raw FNV diffuses a
 // key's trailing bytes into the low bits only, so sequential device names

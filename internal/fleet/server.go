@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"hangdoctor/internal/core"
@@ -36,12 +37,18 @@ type Server struct {
 	// dicts holds per-device binary-decoder state (see ingest.go).
 	dicts *dictCache
 
-	// exportReport serializes a folded report for ?format=json. It is a
-	// seam for tests to force an export failure; the handler buffers the
-	// result so a failure becomes a clean 500 instead of an error string
-	// appended to a partially written 200 body.
-	exportReport func(*core.Report) ([]byte, error)
+	// exportReport serializes a folded report for ?format=json into the
+	// caller-supplied buffer. It is a seam for tests to force an export
+	// failure; the handler buffers the result so a failure becomes a clean
+	// 500 instead of an error string appended to a partially written 200
+	// body.
+	exportReport func(*core.Report, *bytes.Buffer) error
 }
+
+// exportBufPool recycles /v1/report?format=json export buffers across
+// scrapes. A fleet-sized export runs to megabytes; without the pool every
+// scrape allocates (and regrows) a fresh buffer just to throw it away.
+var exportBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
 
 // NewServer wraps an aggregator with default limits and a dictionary cache
 // sized for DefaultDictDevices devices (use NewServerDict to size it).
@@ -57,12 +64,8 @@ func NewServerDict(agg *Aggregator, dictDevices int) *Server {
 		MaxBodyBytes: 8 << 20,
 		RetryAfter:   time.Second,
 		dicts:        newDictCache(dictDevices, agg.Metrics().Registry()),
-		exportReport: func(rep *core.Report) ([]byte, error) {
-			var buf bytes.Buffer
-			if err := rep.Export(&buf); err != nil {
-				return nil, err
-			}
-			return buf.Bytes(), nil
+		exportReport: func(rep *core.Report, buf *bytes.Buffer) error {
+			return rep.Export(buf)
 		},
 	}
 }
@@ -206,13 +209,19 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("format") == "json" {
 		// Buffer the export before touching the ResponseWriter: once a 200
 		// and partial body are out, an error can only corrupt the stream.
-		body, err := s.exportReport(rep)
+		// The buffer comes from (and returns to) a pool, so steady scraping
+		// reuses one export-sized allocation instead of minting a new one.
+		buf := exportBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		err := s.exportReport(rep, buf)
 		if err != nil {
+			exportBufPool.Put(buf)
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
 		}
 		w.Header().Set("Content-Type", "application/json")
-		w.Write(body)
+		w.Write(buf.Bytes())
+		exportBufPool.Put(buf)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")

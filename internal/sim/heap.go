@@ -1,0 +1,92 @@
+package sim
+
+// heap.go: the per-worker event scheduler. PR 7's simulator kept one
+// global container/heap of per-device event structs and re-sorted with
+// heap.Fix through an interface — every comparison an indirect call, every
+// device a separate allocation. Here each worker owns a 4-ary index
+// min-heap over its device partition, stored as two parallel slices
+// (device id, next-upload virtual time): no per-device objects, no
+// interface dispatch, and a 4-ary layout that halves tree depth versus
+// binary so the dominant operation — replace-min after rescheduling the
+// device that just fired — touches fewer cache lines.
+//
+// The heap is single-owner: only its worker goroutine ever reads or writes
+// it, so there is no locking anywhere on the scheduling hot path.
+
+type fourHeap struct {
+	dev []uint32 // heap-ordered device ids
+	key []int64  // key[i] is dev[i]'s next upload time (virtual ms)
+}
+
+func (h *fourHeap) init(n int) {
+	h.dev = make([]uint32, 0, n)
+	h.key = make([]int64, 0, n)
+}
+
+// push appends without restoring heap order — callers bulk-load then
+// heapify once, which is O(n) versus O(n log n) for repeated insertion.
+func (h *fourHeap) push(d uint32, k int64) {
+	h.dev = append(h.dev, d)
+	h.key = append(h.key, k)
+}
+
+func (h *fourHeap) heapify() {
+	n := len(h.dev)
+	if n < 2 {
+		return
+	}
+	for i := (n - 2) / 4; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h *fourHeap) len() int       { return len(h.dev) }
+func (h *fourHeap) minDev() uint32 { return h.dev[0] }
+func (h *fourHeap) minKey() int64  { return h.key[0] }
+
+// advanceMin reschedules the device at the root delta virtual-ms later —
+// the steady-state operation, replacing heap.Fix(…, 0) on the old global
+// heap with a single sift-down.
+func (h *fourHeap) advanceMin(delta int64) {
+	h.key[0] += delta
+	h.siftDown(0)
+}
+
+// popMin removes the root (a device that exhausted its upload quota).
+func (h *fourHeap) popMin() {
+	n := len(h.dev) - 1
+	h.dev[0], h.key[0] = h.dev[n], h.key[n]
+	h.dev, h.key = h.dev[:n], h.key[:n]
+	if n > 1 {
+		h.siftDown(0)
+	}
+}
+
+func (h *fourHeap) siftDown(i int) {
+	dev, key := h.dev, h.key
+	n := len(dev)
+	d, k := dev[i], key[i]
+	for {
+		c := 4*i + 1
+		if c >= n {
+			break
+		}
+		// Smallest of up to four children.
+		m, mk := c, key[c]
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if key[j] < mk {
+				m, mk = j, key[j]
+			}
+		}
+		if mk >= k {
+			break
+		}
+		dev[i], key[i] = dev[m], key[m]
+		i = m
+	}
+	dev[i], key[i] = d, k
+}

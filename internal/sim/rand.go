@@ -1,0 +1,43 @@
+package sim
+
+// rand.go is the engine's determinism substrate. Every random quantity a
+// simulated device produces — its upload offset, per-entry hang counts and
+// response times, restart draws, cadence jitter — is a pure function of
+// (seed, device, sequence number), never of worker identity, scheduling
+// order, or wall time. That is the property the worker-count determinism
+// tests pin: partitioning the fleet across 1, 4, or 8 workers permutes
+// only the order draws are consumed in, not their values, so the folded
+// fleet report is byte-identical.
+//
+// The generator is a splitmix64 counter stream: cheap (two multiplies and
+// a few shifts per draw), allocation-free, and seekable — worker goroutines
+// construct the stream for any (device, seq) pair in O(1) instead of
+// replaying a shared stateful source, which is what makes the sharded
+// scheduler possible at all.
+
+// mix64 is the splitmix64/murmur3 finalizer: full avalanche, so adjacent
+// counter values produce statistically independent outputs.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// streamSeed derives the stream origin for one device tick. seq 0 is the
+// build-time stream (entry templates, initial upload offset); seq n ≥ 1 is
+// the n-th upload's stream.
+func streamSeed(seed int64, dev, seq uint32) uint64 {
+	return mix64(mix64(uint64(seed)) ^ (uint64(dev)+1)*0xa24baed4963ee407 ^ (uint64(seq)+1)*0x9fb21c651e98df25)
+}
+
+// tickRand is the per-tick draw stream. Draw ORDER within a tick is part
+// of the engine's wire contract with itself: restart draw first, then
+// (hangs, response time) per entry in order, then the cadence advance —
+// every mode consumes exactly this sequence so inproc and HTTP runs of the
+// same config produce identical content.
+type tickRand struct{ x uint64 }
+
+func (r *tickRand) next() uint64 {
+	r.x += 0x9e3779b97f4a7c15
+	return mix64(r.x)
+}
