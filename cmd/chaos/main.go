@@ -15,7 +15,9 @@
 // Fault kinds: open (perf-session open failure), counter (per-event dropout
 // mid-window), render (render-thread counters unavailable), stack
 // (stack-sample miss), trunc (stack truncation), overrun (late sampler
-// ticks), all (every kind at the same rate).
+// ticks), worker (pool-worker stack loss — sweep async-slice apps such as
+// -apps NewsBurst,GeoTracker to see causal attribution degrade), all (every
+// kind at the same rate).
 //
 // A second mode sweeps the storage plane instead of the measurement plane:
 //
@@ -81,13 +83,16 @@ func ratesFor(kind string, rate float64) (fault.Rates, error) {
 		return fault.Rates{StackTruncate: rate}, nil
 	case "overrun":
 		return fault.Rates{SamplerOverrun: rate}, nil
+	case "worker":
+		return fault.Rates{WorkerStackMiss: rate}, nil
 	case "all":
 		return fault.Rates{
 			PerfOpenFail: rate, CounterDrop: rate, RenderLoss: rate,
 			StackMiss: rate, StackTruncate: rate, SamplerOverrun: rate,
+			WorkerStackMiss: rate,
 		}, nil
 	}
-	return fault.Rates{}, fmt.Errorf("unknown fault kind %q (want open|counter|render|stack|trunc|overrun|all)", kind)
+	return fault.Rates{}, fmt.Errorf("unknown fault kind %q (want open|counter|render|stack|trunc|overrun|worker|all)", kind)
 }
 
 // sweepRow aggregates one fault rate across all apps.
@@ -117,7 +122,7 @@ func main() {
 	appsFlag := flag.String("apps", "K9-Mail,QKSMS,Omni-Notes", "comma-separated corpus apps to sweep")
 	n := flag.Int("n", 150, "actions per trace")
 	seed := flag.Uint64("seed", 11, "base seed (trace, session, and faults derive from it)")
-	kind := flag.String("fault", "stack", "fault kind: open|counter|render|stack|trunc|overrun|all")
+	kind := flag.String("fault", "stack", "fault kind: open|counter|render|stack|trunc|overrun|worker|all")
 	ratesFlag := flag.String("rates", "0,0.1,0.25,0.5,0.75,1", "comma-separated fault rates to sweep")
 	storage := flag.String("storage", "", "sweep the storage plane instead: torn|fsync|full|short|corrupt|all")
 	uploadsFlag := flag.Int("uploads", 48, "durable uploads per storage-sweep cell")

@@ -125,7 +125,28 @@ const ShippedYear = 2017
 // Analyzer's exclusion rule, §3.4.1).
 func IsFrameworkClass(cls string) bool {
 	return cls == "android.os.Handler" || cls == "android.os.Looper" ||
+		cls == "java.util.concurrent.ThreadPoolExecutor$Worker" ||
+		cls == "java.lang.Thread" ||
 		strings.HasPrefix(cls, "com.android.internal.os.")
+}
+
+// IsAwaitMethod reports whether class.method is a synchronization point
+// that parks the calling thread until asynchronous work finishes. A
+// main-thread sample leafed at one of these is not itself the root cause —
+// the cause lives in whatever chain the thread is waiting on, which is why
+// the causal analyzer treats the bit as its escalation trigger (and why the
+// main-thread-only baseline, lacking that context, misattributes such hangs
+// to the await API itself).
+func IsAwaitMethod(cls, method string) bool {
+	switch cls {
+	case "java.util.concurrent.FutureTask":
+		return method == "get"
+	case "java.util.concurrent.CountDownLatch":
+		return method == "await"
+	case "java.lang.Object":
+		return method == "wait"
+	}
+	return false
 }
 
 // NewRegistry returns a registry preloaded with the standard platform
@@ -138,13 +159,16 @@ func NewRegistry() *Registry {
 		apis:          map[string]*API{},
 		knownBlocking: map[string]bool{},
 	}
-	r.symtab = stack.NewSymtab(func(class, _ string) stack.SymAttrs {
+	r.symtab = stack.NewSymtab(func(class, method string) stack.SymAttrs {
 		var a stack.SymAttrs
 		if r.IsUIClass(class) {
 			a |= stack.SymUI
 		}
 		if IsFrameworkClass(class) {
 			a |= stack.SymFramework
+		}
+		if IsAwaitMethod(class, method) {
+			a |= stack.SymAwait
 		}
 		return a
 	})
@@ -225,6 +249,11 @@ func (r *Registry) APIBySym(id stack.SymID) (*API, bool) {
 // resolved once when the symbol was interned.
 func (r *Registry) IsUISym(id stack.SymID) bool {
 	return r.symtab.Attrs(id)&stack.SymUI != 0
+}
+
+// IsAwaitSym is the ID-indexed fast path of IsAwaitMethod.
+func (r *Registry) IsAwaitSym(id stack.SymID) bool {
+	return r.symtab.Attrs(id)&stack.SymAwait != 0
 }
 
 // IsKnownBlockingSym is the ID-indexed fast path of IsKnownBlocking. The

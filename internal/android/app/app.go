@@ -71,7 +71,14 @@ type Action struct {
 	// execution of this action samples while in caller-level code; built
 	// once at Finalize.
 	callerStack *stack.Stack
+	// inputOrigin is the causal edge input-event dispatches of this action
+	// carry (Kind "input"); built once at Finalize so tagging is a copy.
+	inputOrigin stack.Origin
 }
+
+// InputOrigin returns the causal edge of this action's input-event
+// dispatches; zero before App.Finalize.
+func (a *Action) InputOrigin() stack.Origin { return a.inputOrigin }
 
 // CallerStack returns the action's precomputed handler-plus-framework stack
 // (what a sampler sees while the main thread runs caller-level code). It is
@@ -106,9 +113,19 @@ type App struct {
 	// Registry is the API universe the app links against (shared across the
 	// corpus so the known-blocking database is global, as in the paper).
 	Registry *api.Registry
+	// PoolWidth is the size of the app's bounded worker pool (its
+	// ExecutorService). Zero defaults to 2 when any op is async; apps with
+	// no async ops get no pool at all, so the pre-async corpus executes
+	// bit-for-bit identically.
+	PoolWidth int
 
 	finalized bool
+	hasAsync  bool
 }
+
+// HasAsync reports whether any op spawns work asynchronously (meaningful
+// after Finalize); sessions only create a worker pool for such apps.
+func (a *App) HasAsync() bool { return a.hasAsync }
 
 // Finalize assigns action UIDs and default handler frames, links bug
 // back-references, and validates the app. It must be called once after
@@ -161,6 +178,7 @@ func (a *App) Finalize() error {
 		callerFrames := append([]stack.Frame{act.Handler}, frameworkFrames...)
 		act.callerStack = stack.New(callerFrames...)
 		internStack(a.Registry, act.callerStack)
+		act.inputOrigin = stack.Origin{ActionUID: act.UID, Site: act.Handler.Key(), Kind: "input"}
 		for _, ev := range act.Events {
 			if len(ev.Ops) == 0 {
 				return fmt.Errorf("app %s: action %q event %q has no ops", a.Name, act.Name, ev.Name)
@@ -188,8 +206,18 @@ func (a *App) Finalize() error {
 					op.lightRates = op.Light.rates()
 				}
 				ev.segCap += op.maxSegments()
+				if op.Async != nil {
+					if op.Async.Hops > 0 && op.Async.HopDelay <= 0 {
+						return fmt.Errorf("app %s: async op %q has hops without a hop delay", a.Name, op.Name)
+					}
+					a.hasAsync = true
+					a.finalizeAsync(act, op, callerFrames)
+				}
 			}
 		}
+	}
+	if a.hasAsync && a.PoolWidth <= 0 {
+		a.PoolWidth = 2
 	}
 	// Validate bug list consistency: every listed bug must be wired to an op.
 	for _, b := range a.Bugs {
@@ -218,6 +246,42 @@ func (a *App) MustAction(name string) *Action {
 		panic(fmt.Sprintf("app %s: no action %q", a.Name, name))
 	}
 	return act
+}
+
+// finalizeAsync precomputes an async op's immutable execution material: the
+// worker-side task stack (task leaf, wrapper chain, executor plumbing), the
+// main-thread await stack (FutureTask.get over the action's caller frames),
+// the task and completion rate vectors, and the causal origins every
+// spawned task and completion message will carry.
+func (a *App) finalizeAsync(act *Action, op *Op, callerFrames []stack.Frame) {
+	spec := op.Async
+	taskLeaf := op.TaskLeafFrame()
+	taskFrames := make([]stack.Frame, 0, 1+len(op.Via)+len(workerFrames))
+	taskFrames = append(taskFrames, taskLeaf)
+	if spec.TaskFrame == nil {
+		// The spawned work is the op's own call chain, moved off-thread.
+		for v := len(op.Via) - 1; v >= 0; v-- {
+			taskFrames = append(taskFrames, op.Via[v].Frame())
+		}
+	}
+	taskFrames = append(taskFrames, workerFrames...)
+	op.taskStack = stack.New(taskFrames...)
+	internStack(a.Registry, op.taskStack)
+	awaitFrames := make([]stack.Frame, 0, 1+len(callerFrames))
+	awaitFrames = append(awaitFrames, futureGetFrame)
+	awaitFrames = append(awaitFrames, callerFrames...)
+	op.awaitStack = stack.New(awaitFrames...)
+	internStack(a.Registry, op.awaitStack)
+	op.taskRates = spec.Task.rates()
+	if spec.Completion.CPU > 0 {
+		op.completionRates = spec.Completion.rates()
+	}
+	kind := "submit"
+	if spec.Hops > 0 {
+		kind = "delay"
+	}
+	op.spawnOrigin = stack.Origin{ActionUID: act.UID, Site: op.taskStack.Leaf().Key(), Kind: kind}
+	op.completionOrigin = stack.Origin{ActionUID: act.UID, Site: op.LeafKey(), Kind: "completion"}
 }
 
 // internStack assigns every frame of a freshly built (still Finalize-owned)

@@ -238,6 +238,43 @@ func (m CostModel) Light(frac float64) *CostModel {
 	return &l
 }
 
+// Async describes asynchronous work an op triggers through the session's
+// bounded worker pool instead of running its heavy portion on the main
+// thread. The op's own CostModel becomes the on-main marshalling around the
+// spawn; the real work is Task, executed on a pool worker carrying a causal
+// edge back to the originating action. The fields compose into the async
+// bug patterns the corpus seeds: Await alone is the on-main-await pattern,
+// Tasks > pool width is the post-storm / serialized-pool convoy, Hops adds
+// a delayed-post timer chain, Completion.CPU > 0 delivers the result as its
+// own main-thread dispatch (async-I/O completion on main), and neither
+// Await nor Completion leaves the task detached past the dispatch — the
+// leaky-ordering ingredient, where a later action's await queues behind it.
+type Async struct {
+	// Tasks is the number of tasks submitted (fan-out); 0 means 1.
+	Tasks int
+	// Task is each task's worker-side cost.
+	Task CostModel
+	// Await blocks the dispatch on the tasks' join (FutureTask.get on main).
+	Await bool
+	// Hops routes the submission through a postDelayed timer chain of this
+	// many hops before the task reaches the pool.
+	Hops int
+	// HopDelay is the per-hop delay (required when Hops > 0).
+	HopDelay simclock.Duration
+	// Completion, when its CPU is non-zero, is posted back to the main
+	// thread after the last task finishes and runs as its own monitored
+	// dispatch within the action.
+	Completion CostModel
+	// CompletionDelay posts the completion through Handler.postDelayed with
+	// this delay instead of posting it immediately.
+	CompletionDelay simclock.Duration
+	// TaskFrame overrides the leaf frame of the worker-side stack; nil means
+	// the op's own leaf (the usual case, where the spawned work *is* the
+	// op's API). Completion-pattern ops use it to separate the off-thread
+	// I/O frame from the on-main completion leaf.
+	TaskFrame *stack.Frame
+}
+
 // Op is one operation executed by an input event on the main thread: a call
 // to a platform/library API, or a self-developed code region.
 type Op struct {
@@ -260,6 +297,9 @@ type Op struct {
 	Manifest float64
 	// Bug links the op to its seeded-bug metadata; nil for benign ops.
 	Bug *Bug
+	// Async, when non-nil, makes the op spawn its heavy work through the
+	// session's worker pool instead of executing it inline; see Async.
+	Async *Async
 
 	// heavyRates / lightRates are the cost models' event-rate vectors,
 	// derived once at App.Finalize so dispatches stop recomputing the
@@ -267,6 +307,17 @@ type Op struct {
 	// Light is non-nil (ops without a Light model share defaultLightRates).
 	heavyRates cpu.Rates
 	lightRates cpu.Rates
+
+	// Async precomputation (App.Finalize, ops with Async only): the
+	// worker-side and await-side stacks, their rate vectors, and the causal
+	// origins every spawned task is tagged with — all immutable and shared
+	// across executions so tagging a sample is a struct copy.
+	taskStack        *stack.Stack
+	awaitStack       *stack.Stack
+	taskRates        cpu.Rates
+	completionRates  cpu.Rates
+	spawnOrigin      stack.Origin
+	completionOrigin stack.Origin
 }
 
 // segmentsFor returns the scheduler-segment count one dispatch of the op
@@ -296,8 +347,32 @@ func (o *Op) maxSegments() int {
 	if ln := segmentsFor(light); ln > n {
 		n = ln
 	}
+	if o.Async != nil {
+		n += 2 // launch Call + (possibly) the await gate
+	}
 	return n
 }
+
+// taskCount returns the effective fan-out of an Async spec.
+func (a *Async) taskCount() int {
+	if a.Tasks <= 0 {
+		return 1
+	}
+	return a.Tasks
+}
+
+// TaskLeafFrame returns the leaf frame of the op's worker-side stack: the
+// Async.TaskFrame override, or the op's own leaf.
+func (o *Op) TaskLeafFrame() stack.Frame {
+	if o.Async != nil && o.Async.TaskFrame != nil {
+		return *o.Async.TaskFrame
+	}
+	return o.LeafFrame()
+}
+
+// SpawnOrigin returns the causal edge tasks spawned by this op carry; zero
+// before App.Finalize or for non-async ops.
+func (o *Op) SpawnOrigin() stack.Origin { return o.spawnOrigin }
 
 // LeafFrame returns the innermost frame this op puts on the stack.
 func (o *Op) LeafFrame() stack.Frame {

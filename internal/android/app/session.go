@@ -108,6 +108,14 @@ type Session struct {
 	execCount map[string]int
 	current   *ActionExec
 
+	// pool is the app's bounded worker pool; nil for apps with no async ops,
+	// so the pre-async corpus runs on an unchanged thread population.
+	pool *workerPool
+	// pendingCompletions counts async completions submitted but not yet
+	// dispatched; Perform waits for them (the completion is part of the
+	// action), while detached tasks deliberately are not waited on.
+	pendingCompletions int
+
 	bg     []*cpu.Thread
 	bgStop bool
 }
@@ -148,6 +156,9 @@ func NewSessionOn(clk *simclock.Clock, sched *cpu.Scheduler, a *App, dev Device,
 	}
 	s.perfRng = s.rng.Derive("perf")
 	s.Looper.AddDispatchHook(sessionHook{s})
+	if a.HasAsync() {
+		s.pool = newWorkerPool(sched, a.Name, a.PoolWidth)
+	}
 	return s, nil
 }
 
@@ -156,6 +167,16 @@ func (s *Session) MainThread() *cpu.Thread { return s.Looper.Thread() }
 
 // RenderThread returns the render thread.
 func (s *Session) RenderThread() *cpu.Thread { return s.Render.CPUThread() }
+
+// WorkerThreads returns the app's pool worker threads (nil when the app has
+// no async ops). They are scheduled entities like any other: a perf session
+// can open counters on them, and the sampler walks them via SampleTagged.
+func (s *Session) WorkerThreads() []*cpu.Thread {
+	if s.pool == nil {
+		return nil
+	}
+	return s.pool.threads
+}
 
 // PerfConfig returns the perf session configuration matching this device
 // (register count, measurement-noise model, deterministic RNG). It does not
@@ -193,6 +214,50 @@ func (s *Session) SampleMainStack() (st *stack.Stack, missed, truncated bool) {
 		return st.Truncate(kept), false, true
 	}
 	return st, false, false
+}
+
+// SampleTagged is the causal sampler's dump: the main-thread stack plus the
+// stack of every busy pool worker, each tagged with the causal origin of the
+// work it is executing. Samples are appended onto buf (the caller reuses one
+// slice across a hang, so the warm path is allocation-free), and the returns
+// report whether the main dump was lost to fault injection, how many dumps
+// were truncated, and how many worker dumps were lost. Idle threads
+// contribute nothing; worker dumps obey the same truncation faults as main
+// dumps and their own loss rate (fault.Rates.WorkerStackMiss).
+func (s *Session) SampleTagged(buf []stack.Tagged) (out []stack.Tagged, mainMissed bool, truncated, workersLost int) {
+	out = buf
+	st, missed, trunc := s.SampleMainStack()
+	if trunc {
+		truncated++
+	}
+	if st != nil {
+		var o stack.Origin
+		if m := s.Looper.Current(); m != nil {
+			o = m.Origin
+		}
+		out = append(out, stack.Tagged{Stack: st, Origin: o})
+	}
+	if s.pool != nil {
+		for i, th := range s.pool.threads {
+			if !s.pool.busy[i] {
+				continue
+			}
+			wst := th.CurrentStack()
+			if wst == nil {
+				continue
+			}
+			if s.faults.WorkerStackMissed() {
+				workersLost++
+				continue
+			}
+			if kept, ok := s.faults.TruncateTo(wst.Depth()); ok {
+				wst = wst.Truncate(kept)
+				truncated++
+			}
+			out = append(out, stack.Tagged{Stack: wst, Origin: s.pool.origins[i], Worker: true})
+		}
+	}
+	return out, missed, truncated, workersLost
 }
 
 // AddListener attaches a lifecycle observer (typically a detector).
@@ -261,6 +326,7 @@ func (s *Session) Perform(act *Action) *ActionExec {
 			Name:     act.UID + "/" + ie.Name,
 			Segments: s.buildSegments(act, ie, exec),
 			Meta:     ev,
+			Origin:   act.inputOrigin,
 		}
 		s.Looper.Post(msg)
 	}
@@ -283,12 +349,16 @@ func (s *Session) Perform(act *Action) *ActionExec {
 	return exec
 }
 
-// actionDone reports whether both threads have drained.
+// actionDone reports whether both threads have drained. Pending async
+// completions count as part of the action (their dispatch is the user-visible
+// result delivery); detached worker tasks do not — they may outlive the
+// action, which is exactly what makes cross-action convoys possible.
 func (s *Session) actionDone() bool {
 	return s.Looper.Idle() &&
 		s.MainThread().State() == cpu.Waiting &&
 		s.Render.Idle() &&
-		s.RenderThread().State() == cpu.Waiting
+		s.RenderThread().State() == cpu.Waiting &&
+		s.pendingCompletions == 0
 }
 
 // buildSegments turns an input event's ops into the main-thread program,
@@ -323,6 +393,10 @@ func (s *Session) buildSegments(act *Action, ie *InputEvent, exec *ActionExec) [
 			}
 		}
 		f := s.rng.Jitter(1, cost.Jitter)
+		if op.Async != nil {
+			segs = s.asyncSegments(op, heavy, f, cost, rates, act.callerStack, ie.fullStacks[oi], exec, segs)
+			continue
+		}
 		var mainDur simclock.Duration
 		segs, mainDur = s.opSegments(op, cost, rates, f, act.callerStack, ie.fullStacks[oi], segs)
 		if heavy {
@@ -330,6 +404,133 @@ func (s *Session) buildSegments(act *Action, ie *InputEvent, exec *ActionExec) [
 		}
 	}
 	return segs
+}
+
+// asyncSegments appends an async op's main-thread program: the on-main
+// marshalling at the op's site (the op's own cost model), a Call that
+// launches the spawn — optionally through a postDelayed hop chain — and, for
+// awaited ops, a WaitGate that parks the dispatch in FutureTask.get until
+// the join. Ground truth is recorded at runtime with actual durations:
+// awaited ops record the real stall between submit and join (which includes
+// queueing behind other origins' tasks — the convoy and leaky-ordering
+// patterns), completion ops record the dispatch they post back. All
+// randomness is drawn here, in build order, so executions stay replayable.
+func (s *Session) asyncSegments(op *Op, heavy bool, f float64, cost CostModel, rates *cpu.Rates,
+	callerStack, fullStack *stack.Stack, exec *ActionExec, segs []cpu.Segment) []cpu.Segment {
+	spec := op.Async
+	segs, _ = s.opSegments(op, cost, rates, f, callerStack, fullStack, segs)
+
+	taskCost, tRates := spec.Task, &op.taskRates
+	if !heavy {
+		taskCost, tRates = defaultLightCost(), &defaultLightRates
+	}
+	tasks := make([]*poolTask, spec.taskCount())
+	for i := range tasks {
+		tsegs, _ := taskSegments(taskCost, tRates, s.rng.Jitter(1, taskCost.Jitter), op.taskStack)
+		tasks[i] = &poolTask{op: op, origin: op.spawnOrigin, segs: tsegs}
+	}
+
+	var compSegs []cpu.Segment
+	var compDur simclock.Duration
+	if spec.Completion.CPU > 0 {
+		compCost, cRates := spec.Completion, &op.completionRates
+		if !heavy {
+			compCost, cRates = defaultLightCost(), &defaultLightRates
+		}
+		compSegs, compDur = taskSegments(compCost, cRates, s.rng.Jitter(1, compCost.Jitter), fullStack)
+		compSegs = append(compSegs, cpu.Call{Fn: func() { s.pendingCompletions-- }})
+	}
+
+	var gate *cpu.Gate
+	if spec.Await {
+		gate = cpu.NewGate()
+	}
+	segs = append(segs, cpu.Call{Fn: func() {
+		s.launchAsync(op, exec, tasks, gate, compSegs, compDur, heavy)
+	}})
+	if spec.Await {
+		segs = append(segs, cpu.WaitGate{G: gate, Stack: op.awaitStack})
+	}
+	return segs
+}
+
+// launchAsync runs on the main thread at dispatch time. It captures the
+// submit instant and the pool's current cross-op blocker (ground truth for
+// convoy stalls), wires the join, and hands the tasks to the pool — directly
+// or through the postDelayed hop chain (the timer runs off-thread, so hops
+// delay the work without occupying the looper).
+func (s *Session) launchAsync(op *Op, exec *ActionExec, tasks []*poolTask, gate *cpu.Gate,
+	compSegs []cpu.Segment, compDur simclock.Duration, heavy bool) {
+	spec := op.Async
+	submitAt := s.Clk.Now()
+	blocker := s.pool.blocker(op)
+	if compSegs != nil {
+		s.pendingCompletions++
+	}
+	remaining := len(tasks)
+	done := func() {
+		if remaining--; remaining > 0 {
+			return
+		}
+		if gate != nil {
+			// The stall an awaited spawn actually imposed on the dispatch:
+			// hop delays + queueing + task runtime. Recorded unconditionally —
+			// the harness's perceivability threshold discards benign waits —
+			// and attributed to the blocking op too when the pool was busy
+			// with another op's work at submit (its bug caused this stall).
+			stall := s.Clk.Now().Sub(submitAt)
+			exec.Heavy = append(exec.Heavy, HeavyOp{Op: op, Dur: stall})
+			if blocker != nil {
+				exec.Heavy = append(exec.Heavy, HeavyOp{Op: blocker, Dur: stall})
+			}
+			gate.Open()
+		}
+		if compSegs != nil {
+			s.postCompletion(op, exec, compSegs, compDur, heavy)
+		}
+	}
+	for _, t := range tasks {
+		t.done = done
+	}
+	submit := func() {
+		for _, t := range tasks {
+			s.pool.submit(t)
+		}
+	}
+	if spec.Hops == 0 {
+		submit()
+		return
+	}
+	var hop func(int)
+	hop = func(left int) {
+		if left == 0 {
+			submit()
+			return
+		}
+		s.Clk.After(spec.HopDelay, func() { hop(left - 1) })
+	}
+	hop(spec.Hops)
+}
+
+// postCompletion delivers an async op's result back to the main thread as
+// its own monitored dispatch: a synthetic event appended to the execution and
+// posted (postDelayed when the spec says so) carrying the op's completion
+// origin, so samplers see the causal chain and detectors see the response
+// time like any input event's.
+func (s *Session) postCompletion(op *Op, exec *ActionExec, compSegs []cpu.Segment,
+	compDur simclock.Duration, heavy bool) {
+	ev := &EventExec{Name: "completion:" + op.Name, Index: len(exec.Events), Exec: exec}
+	exec.Events = append(exec.Events, ev)
+	if heavy {
+		exec.Heavy = append(exec.Heavy, HeavyOp{Op: op, Dur: compDur})
+	}
+	msg := &looper.Message{
+		Name:     exec.Action.UID + "/" + ev.Name,
+		Segments: compSegs,
+		Meta:     ev,
+		Origin:   op.completionOrigin,
+	}
+	s.Looper.PostDelayed(msg, op.Async.CompletionDelay)
 }
 
 // defaultLightCost is the benign execution of an occasionally-manifesting

@@ -12,6 +12,7 @@ import (
 
 	"hangdoctor/internal/cpu"
 	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/stack"
 )
 
 // Message is one unit of main-thread work: an input event (or any posted
@@ -24,6 +25,12 @@ type Message struct {
 	// Meta carries an opaque payload for higher layers (the app session
 	// attaches its EventExec record here).
 	Meta any
+	// Origin is the message's causal provenance: which user action (and
+	// through which spawn site) transitively produced it. Input-event
+	// dispatches carry Kind "input"; Handler.post chains and worker
+	// completions propagate the spawning dispatch's ActionUID. Samplers use
+	// it to tag main-thread traces with the chain being executed.
+	Origin stack.Origin
 }
 
 // DispatchHook observes message dispatch boundaries.
@@ -92,6 +99,21 @@ func (l *Looper) Post(m *Message) {
 		l.dispatching = true
 		l.feed()
 	}
+}
+
+// PostDelayed schedules m to be posted after delay — Handler.postDelayed.
+// The timer hop runs off-thread (the clock is the alarm subsystem); the
+// message enters the queue, and competes with other messages, only when the
+// delay fires. A non-positive delay posts immediately.
+func (l *Looper) PostDelayed(m *Message, delay simclock.Duration) {
+	if m == nil {
+		panic("looper: PostDelayed(nil)")
+	}
+	if delay <= 0 {
+		l.Post(m)
+		return
+	}
+	l.clk.After(delay, func() { l.Post(m) })
 }
 
 // feed moves the next queued message onto the thread, bracketed by the

@@ -23,6 +23,20 @@ package core
 //	                           dictBase+count in order
 //	entries  varint count, count × entry
 //	health   10 varints      — only when flags bit0 is set
+//	exts     one section per set flag bit above bit0, ascending bit order:
+//	         varint sectionLen, sectionLen bytes — a decoder that does not
+//	         know a bit skips its section by length, so the format extends
+//	         without a version bump (bit0's health block predates the
+//	         scheme and stays an unprefixed 10-varint block forever)
+//
+//	causal section (bit1) :=
+//	         workerStacksLost causalFallbacks
+//	         varint chainedCount, count × (entryIndex kindRef
+//	         originActionRef originSiteRef sharePermille)
+//	         — chain provenance for entries diagnosed through an async
+//	         chain, indexed into the entries array in strictly ascending
+//	         order; the two extra health counters live here because the
+//	         legacy health block's field count is frozen
 //
 //	str   := varint len, len bytes (UTF-8; the decoder rejects invalid UTF-8
 //	         so a binary upload can never smuggle strings the JSON path
@@ -66,6 +80,7 @@ const (
 	binMagic        = "HDB1"
 	binWireVersion  = 1
 	binFlagHealth   = 1 << 0
+	binFlagCausal   = 1 << 1
 	binEntryViaCall = 1 << 0
 	maxBinStringLen = 1 << 20 // longest single dictionary string
 	maxBinPrealloc  = 4096    // cap on count-driven preallocation
@@ -176,6 +191,7 @@ type BinaryEncoder struct {
 	buf    []byte
 	devs   []string // scratch for sorting an entry's device set
 	delta  []string // scratch for the current document's new strings
+	ext    []byte   // scratch for length-prefixed extension sections
 }
 
 // NewBinaryEncoder returns an encoder for one device's upload stream.
@@ -242,9 +258,12 @@ func (e *BinaryEncoder) appendDoc(dst []byte, rep *Report) []byte {
 	type encEntry struct {
 		app, action, root, file uint32
 		devs                    []uint32
+		chained                 bool
+		kind, corigin, csite    uint32
 	}
 	encs := make([]encEntry, len(entries))
 	devRefs := make([]uint32, 0, len(entries))
+	chained := 0
 	for i, en := range entries {
 		ee := encEntry{
 			app:    e.ref(en.App),
@@ -262,6 +281,16 @@ func (e *BinaryEncoder) appendDoc(dst []byte, rep *Report) []byte {
 			devRefs = append(devRefs, e.ref(d))
 		}
 		ee.devs = devRefs[start:len(devRefs):len(devRefs)]
+		if !en.Chain.Zero() {
+			// Chain strings join the same first-use dictionary walk, right
+			// after the entry's device refs, so the delta order stays a pure
+			// function of report content.
+			ee.chained = true
+			ee.kind = e.ref(en.Chain.Kind)
+			ee.corigin = e.ref(en.Chain.OriginAction)
+			ee.csite = e.ref(en.Chain.OriginSite)
+			chained++
+		}
 		encs[i] = ee
 	}
 
@@ -271,6 +300,9 @@ func (e *BinaryEncoder) appendDoc(dst []byte, rep *Report) []byte {
 	flags := byte(0)
 	if !rep.Health.Zero() {
 		flags |= binFlagHealth
+	}
+	if chained > 0 || rep.Health.WorkerStacksLost != 0 || rep.Health.CausalFallbacks != 0 {
+		flags |= binFlagCausal
 	}
 	dst = append(dst, flags)
 	dst = appendStr(dst, e.device)
@@ -311,6 +343,27 @@ func (e *BinaryEncoder) appendDoc(dst []byte, rep *Report) []byte {
 			dst = appendUvarint(dst, uint64(v))
 		}
 	}
+	if flags&binFlagCausal != 0 {
+		// Extension sections are length-prefixed; build the body in scratch
+		// first so the prefix is exact.
+		e.ext = e.ext[:0]
+		e.ext = appendUvarint(e.ext, uint64(rep.Health.WorkerStacksLost))
+		e.ext = appendUvarint(e.ext, uint64(rep.Health.CausalFallbacks))
+		e.ext = appendUvarint(e.ext, uint64(chained))
+		for i := range encs {
+			ee := &encs[i]
+			if !ee.chained {
+				continue
+			}
+			e.ext = appendUvarint(e.ext, uint64(i))
+			e.ext = appendUvarint(e.ext, uint64(ee.kind))
+			e.ext = appendUvarint(e.ext, uint64(ee.corigin))
+			e.ext = appendUvarint(e.ext, uint64(ee.csite))
+			e.ext = appendUvarint(e.ext, uint64(entries[i].Chain.SharePermille))
+		}
+		dst = appendUvarint(dst, uint64(len(e.ext)))
+		dst = append(dst, e.ext...)
+	}
 	e.delta = e.delta[:0]
 	return dst
 }
@@ -336,6 +389,9 @@ type WireEntry struct {
 	Devices     []string
 	MaxResponse simclock.Duration
 	SumResponse simclock.Duration
+	// Chain is the entry's causal-chain provenance from the causal extension
+	// section (zero when absent or when the decoder skipped the section).
+	Chain CausalChain
 }
 
 // WireReport is one decoded binary upload: the uploading device, its
@@ -394,6 +450,7 @@ func (r *Report) MergeWireEntries(entries []WireEntry) {
 		if we.MaxResponse > e.MaxResponse {
 			e.MaxResponse = we.MaxResponse
 		}
+		e.Chain = mergeChain(e.Chain, we.Chain)
 	}
 }
 
@@ -428,6 +485,11 @@ type BinaryDecoder struct {
 	strs []string             // dictionary: ref i at strs[i-1]
 	keys map[keyTriple]string // composite entry-key cache
 
+	// extMask is the set of extension flag bits this decoder understands;
+	// sections for bits outside it are skipped by length. Tests restrict it
+	// to emulate decoders predating an extension.
+	extMask byte
+
 	// Scratch reused by DecodeScratch (and the pending-delta staging that
 	// both decode paths share).
 	pending []string
@@ -438,8 +500,13 @@ type BinaryDecoder struct {
 
 // NewBinaryDecoder returns an empty-dictionary decoder.
 func NewBinaryDecoder() *BinaryDecoder {
-	return &BinaryDecoder{keys: map[keyTriple]string{}}
+	return &BinaryDecoder{keys: map[keyTriple]string{}, extMask: binFlagCausal}
 }
+
+// restrictExtensions narrows the decoder to the given extension bits —
+// the compatibility tests use it to prove a decoder that predates the
+// causal section still parses documents carrying one.
+func (d *BinaryDecoder) restrictExtensions(mask byte) { d.extMask = mask }
 
 // DictLen returns the number of committed dictionary strings.
 func (d *BinaryDecoder) DictLen() int { return len(d.strs) }
@@ -650,6 +717,32 @@ func (d *BinaryDecoder) decodeInto(doc []byte, wr *WireReport, devBuf *[]string)
 			LowConfidence: vals[8], Quarantines: vals[9],
 		}
 	}
+	// Extension sections, one per set flag bit above bit0 in ascending bit
+	// order. Bits outside extMask are skipped by their length prefix.
+	for bit := byte(binFlagHealth << 1); bit != 0; bit <<= 1 {
+		if flags&bit == 0 {
+			continue
+		}
+		n, err := r.length("extension section")
+		if err != nil {
+			return err
+		}
+		if bit&d.extMask == 0 {
+			r.off += n
+			continue
+		}
+		sr := &binReader{buf: r.buf[:r.off+n], off: r.off}
+		switch bit {
+		case binFlagCausal:
+			if err := d.decodeCausal(sr, entries, &health); err != nil {
+				return err
+			}
+		}
+		if sr.off != r.off+n {
+			return fmt.Errorf("core: binary report: extension bit %d: %d bytes left over", bit, r.off+n-sr.off)
+		}
+		r.off = sr.off
+	}
 	if r.remaining() != 0 {
 		return fmt.Errorf("core: binary report: %d trailing bytes after document", r.remaining())
 	}
@@ -664,6 +757,66 @@ func (d *BinaryDecoder) decodeInto(doc []byte, wr *WireReport, devBuf *[]string)
 	wr.Health = health
 	if devBuf != nil {
 		*devBuf = devs
+	}
+	return nil
+}
+
+// decodeCausal parses the causal extension section into the two post-legacy
+// health counters and per-entry chain provenance.
+func (d *BinaryDecoder) decodeCausal(r *binReader, entries []WireEntry, health *Health) error {
+	wsl, err := r.uvarint()
+	if err != nil || wsl > math.MaxInt32 {
+		return errors.New("core: binary report: causal section: worker stacks lost: invalid")
+	}
+	cf, err := r.uvarint()
+	if err != nil || cf > math.MaxInt32 {
+		return errors.New("core: binary report: causal section: causal fallbacks: invalid")
+	}
+	health.WorkerStacksLost = int(wsl)
+	health.CausalFallbacks = int(cf)
+	nChained, err := r.length("chained entry")
+	if err != nil {
+		return err
+	}
+	prev := -1
+	for i := 0; i < nChained; i++ {
+		idx, err := r.uvarint()
+		if err != nil {
+			return fmt.Errorf("core: binary report: chain %d entry index: %w", i, err)
+		}
+		// Strictly ascending indices keep the section canonical (and reject
+		// duplicate attributions for one entry).
+		if idx >= uint64(len(entries)) || int(idx) <= prev {
+			return fmt.Errorf("core: binary report: chain %d entry index %d out of order or beyond %d entries", i, idx, len(entries))
+		}
+		prev = int(idx)
+		var refs [3]uint64
+		for j := range refs {
+			if refs[j], err = r.uvarint(); err != nil {
+				return fmt.Errorf("core: binary report: chain %d refs: %w", i, err)
+			}
+		}
+		var chain CausalChain
+		if chain.Kind, err = d.resolve(refs[0]); err != nil {
+			return err
+		}
+		if chain.OriginAction, err = d.resolve(refs[1]); err != nil {
+			return err
+		}
+		if chain.OriginSite, err = d.resolve(refs[2]); err != nil {
+			return err
+		}
+		share, err := r.uvarint()
+		if err != nil || share > 1000 {
+			return fmt.Errorf("core: binary report: chain %d share out of [0,1000]", i)
+		}
+		chain.SharePermille = int(share)
+		if chain.Zero() {
+			// A zero chain must be encoded by omission, or re-encoding would
+			// drop the row and break the canonical fixed point.
+			return fmt.Errorf("core: binary report: chain %d is all-zero", i)
+		}
+		entries[idx].Chain = chain
 	}
 	return nil
 }

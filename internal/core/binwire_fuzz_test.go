@@ -17,6 +17,13 @@ func FuzzBinaryDecode(f *testing.F) {
 	rep.Add("App", "dev-2", "App/act", Diagnosis{RootCause: "x.Y.m", File: "Y.java", Line: 2}, 90*simclock.Millisecond)
 	rep.Health = Health{CountersLost: 1}
 	f.Add(AppendReportBinary(nil, rep))
+	// Causal-extension seeds: a maximal causal doc, and one where only the
+	// health counters set the flag (empty chain list in the section).
+	f.Add(AppendReportBinary(nil, causalReport()))
+	onlyHealth := NewReport()
+	onlyHealth.Add("App", "dev-1", "App/act", Diagnosis{RootCause: "x.Y.m", File: "Y.java", Line: 2}, 150*simclock.Millisecond)
+	onlyHealth.Health = Health{WorkerStacksLost: 2, CausalFallbacks: 1}
+	f.Add(AppendReportBinary(nil, onlyHealth))
 	f.Add([]byte(binMagic))
 	f.Add(append([]byte(binMagic), binWireVersion, 0, 0, 0, 0, 0))
 	f.Add([]byte("garbage that is longer than the header"))

@@ -27,12 +27,27 @@ func synthReport(seed uint64, device string, entries int) *Report {
 			ViaCaller: op%17 == 0,
 		}
 		rt := simclock.Duration(100+rng.Intn(1900)) * simclock.Millisecond
+		// A slice of entries carries causal-chain provenance, so every
+		// round-trip and differential test also covers the causal extension.
+		var chain CausalChain
+		if op%5 == 0 {
+			chain = CausalChain{
+				Kind:          []string{"submit", "delay", "post", "completion"}[op%4],
+				OriginAction:  fmt.Sprintf("%s/Origin-%02d", app, op%6),
+				OriginSite:    fmt.Sprintf("com.example.spawn.Site%02d.run", op%9),
+				SharePermille: 1 + op%1000,
+			}
+		}
 		for h := 0; h < 1+rng.Intn(3); h++ {
-			rep.Add(app, device, action, diag, rt)
+			rep.AddChained(app, device, action, diag, chain, rt)
 		}
 	}
 	if rng.Bool(0.3) {
 		rep.Health = Health{CountersLost: rng.Intn(5), StacksDropped: rng.Intn(3), Quarantines: rng.Intn(2)}
+	}
+	if rng.Bool(0.25) {
+		rep.Health.WorkerStacksLost = rng.Intn(4)
+		rep.Health.CausalFallbacks = rng.Intn(3)
 	}
 	return rep
 }

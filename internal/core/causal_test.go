@@ -1,0 +1,197 @@
+package core
+
+import (
+	"testing"
+
+	"hangdoctor/internal/android/api"
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/corpus"
+	"hangdoctor/internal/fault"
+	"hangdoctor/internal/simrand"
+	"hangdoctor/internal/stack"
+)
+
+// tagMain wraps plain main-thread traces into the tagged-sample form the
+// causal analyzer consumes: Worker false, zero origin.
+func tagMain(traces []*stack.Stack) []stack.Tagged {
+	out := make([]stack.Tagged, len(traces))
+	for i, tr := range traces {
+		out[i] = stack.Tagged{Stack: tr}
+	}
+	return out
+}
+
+// TestCausalMainOnlyDifferential is the differential oracle of the causal
+// extension: restricted to main-thread samples, CausalAnalyzer.Analyze must
+// reproduce TraceAnalyzer.Analyze bit for bit — same Diagnosis, same ok,
+// zero chain, no fallback — over randomized corpus-derived trace sets.
+func TestCausalMainOnlyDifferential(t *testing.T) {
+	c := corpus.Shared()
+	rng := simrand.New(131).Derive("causal-diff")
+	var ta TraceAnalyzer
+	ca := NewCausalAnalyzer(&ta)
+	cases := 0
+	apps := append(append([]*app.App{}, c.Apps...), c.Async...)
+	for _, a := range apps {
+		for trial := 0; trial < 2; trial++ {
+			seed := uint64(rng.Intn(1 << 30))
+			n := 4 + rng.Intn(100)
+			traces := corpus.SampledTraces(a, seed, n)
+			if len(traces) == 0 {
+				continue
+			}
+			tagged := tagMain(traces)
+			for _, occHigh := range []float64{0.3, 0.5, 0.9} {
+				want, wantOK := ta.Analyze(traces, c.Registry, occHigh)
+				got, chain, fallback, gotOK := ca.Analyze(tagged, c.Registry, occHigh)
+				if gotOK != wantOK || !diagEqual(got, want) {
+					t.Fatalf("%s seed=%d n=%d occHigh=%v:\n  causal = %+v (ok=%v)\n  plain  = %+v (ok=%v)",
+						a.Name, seed, n, occHigh, got, gotOK, want, wantOK)
+				}
+				if !chain.Zero() || fallback {
+					t.Fatalf("%s: main-only input produced chain=%+v fallback=%v", a.Name, chain, fallback)
+				}
+				cases++
+			}
+		}
+	}
+	if cases < 100 {
+		t.Fatalf("only %d differential cases ran", cases)
+	}
+}
+
+// TestCausalDoctorBitIdenticalOnSyncApps runs the full detection pipeline
+// twice over every synchronous corpus app — causal attribution enabled and
+// disabled — and asserts byte-identical output. Apps without worker threads
+// must be completely untouched by the causal machinery. Subtests run in
+// parallel so a -race run also exercises concurrent doctors.
+func TestCausalDoctorBitIdenticalOnSyncApps(t *testing.T) {
+	names := make([]string, 0, 16)
+	for i, a := range corpus.Shared().Apps {
+		if i%8 == 0 { // every 8th app keeps the sweep fast; seeds vary by app
+			names = append(names, a.Name)
+		}
+	}
+	names = append(names, "K9-Mail", "SageMath")
+	for i, name := range names {
+		i, name := i, name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			seed := uint64(200 + i)
+			dCausal, _ := runFaulted(t, name, Config{}, seed, 90, nil)
+			dPlain, _ := runFaulted(t, name, Config{NoCausal: true}, seed, 90, nil)
+			a, b := doctorFingerprint(t, dCausal), doctorFingerprint(t, dPlain)
+			if a != b {
+				t.Fatalf("causal doctor diverged on sync app:\n--- causal ---\n%s\n--- plain ---\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestMergeChainCommutativeAssociative pins the algebra fleet merges rely
+// on: mergeChain must be commutative and associative so reports reach the
+// same fixed point regardless of upload order.
+func TestMergeChainCommutativeAssociative(t *testing.T) {
+	rng := simrand.New(7).Derive("chains")
+	kinds := []string{"", "submit", "delay", "post", "completion"}
+	randChain := func() CausalChain {
+		return CausalChain{
+			Kind:          kinds[rng.Intn(len(kinds))],
+			OriginAction:  []string{"", "A/open", "B/sync"}[rng.Intn(3)],
+			OriginSite:    []string{"", "p.C.f", "q.D.g"}[rng.Intn(3)],
+			SharePermille: rng.Intn(1001),
+		}
+	}
+	for trial := 0; trial < 500; trial++ {
+		a, b, c := randChain(), randChain(), randChain()
+		if mergeChain(a, b) != mergeChain(b, a) {
+			t.Fatalf("not commutative: %+v vs %+v", a, b)
+		}
+		if mergeChain(mergeChain(a, b), c) != mergeChain(a, mergeChain(b, c)) {
+			t.Fatalf("not associative: %+v %+v %+v", a, b, c)
+		}
+		if mergeChain(a, CausalChain{}) != a {
+			t.Fatalf("zero not identity for %+v", a)
+		}
+	}
+}
+
+// TestCausalAnalyzeZeroAlloc pins the escalation hot path: a warm causal
+// analyzer re-attributing an await-parked hang to its dominant worker chain
+// must not allocate.
+func TestCausalAnalyzeZeroAlloc(t *testing.T) {
+	reg := api.NewRegistry()
+	awaitStack := frames("java.util.concurrent.FutureTask.get", "app.Main.onClick", "android.os.Looper.loop")
+	workStack := frames("com.demo.db.Store.query", "com.demo.task.Loader.run")
+	otherStack := frames("com.demo.net.Http.fetch", "com.demo.task.Prefetch.run")
+	origin := stack.Origin{ActionUID: "Demo/Open", Site: "com.demo.task.Loader.run", Kind: "submit"}
+	other := stack.Origin{ActionUID: "Demo/Scroll", Site: "com.demo.task.Prefetch.run", Kind: "submit"}
+	var samples []stack.Tagged
+	for i := 0; i < 24; i++ {
+		samples = append(samples, stack.Tagged{Stack: awaitStack})
+		samples = append(samples, stack.Tagged{Stack: workStack, Origin: origin, Worker: true})
+		if i%3 == 0 {
+			samples = append(samples, stack.Tagged{Stack: otherStack, Origin: other, Worker: true})
+		}
+	}
+	var ta TraceAnalyzer
+	ca := NewCausalAnalyzer(&ta)
+	diag, chain, fallback, ok := ca.Analyze(samples, reg, 0.5)
+	if !ok || fallback || chain.Zero() {
+		t.Fatalf("warm-up: diag=%+v chain=%+v fallback=%v ok=%v", diag, chain, fallback, ok)
+	}
+	if diag.RootCause != "com.demo.db.Store.query" {
+		t.Fatalf("escalation blamed %s, want the worker chain's leaf", diag.RootCause)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, _, ok := ca.Analyze(samples, reg, 0.5); !ok {
+			t.Fatal("no diagnosis")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm causal Analyze allocates %.1f objects per hang, want 0", allocs)
+	}
+}
+
+// TestWorkerStackLossDegradesToMainOnly drives the worker-stack-loss fault
+// at rate 1.0 over an async-bug app: every causal escalation must fall back
+// to the main-thread await verdict (wrong but honest), both causal health
+// counters must record the degradation, and nothing may be fabricated.
+func TestWorkerStackLossDegradesToMainOnly(t *testing.T) {
+	inj := fault.New(17, fault.Rates{WorkerStackMiss: 1})
+	d, _ := runFaulted(t, "NewsBurst", Config{}, 23, 120, inj)
+
+	h := d.Health()
+	if h.WorkerStacksLost == 0 {
+		t.Fatal("full worker stack loss recorded no WorkerStacksLost")
+	}
+	if h.CausalFallbacks == 0 {
+		t.Fatal("await-parked hangs with no worker samples recorded no CausalFallbacks")
+	}
+	for _, det := range d.Detections() {
+		if !det.Chain.Zero() {
+			t.Fatalf("chain attributed without worker samples: %+v", det.Chain)
+		}
+		// The fallback verdict is the await frame — the analyzer must not
+		// invent the task's root cause out of thin air.
+		if det.RootCause == "com.newsburst.feed.FeedParser.parseEntry" {
+			t.Fatalf("worker-blind doctor diagnosed the worker-side root cause %s", det.RootCause)
+		}
+	}
+
+	// The fault-free causal run over the same trace reaches the real root
+	// cause, pinning that the fallback above is a genuine degradation.
+	dOK, _ := runFaulted(t, "NewsBurst", Config{}, 23, 120, nil)
+	found := false
+	for _, det := range dOK.Detections() {
+		if det.RootCause == "com.newsburst.feed.FeedParser.parseEntry" && !det.Chain.Zero() {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fault-free causal run did not diagnose the seeded async bug")
+	}
+	if hOK := dOK.Health(); hOK.WorkerStacksLost != 0 || hOK.CausalFallbacks != 0 {
+		t.Fatalf("fault-free run recorded causal degradation: %+v", hOK)
+	}
+}

@@ -93,6 +93,12 @@ type Config struct {
 	// MainThreadOnly evaluates conditions on main-thread counters alone
 	// instead of main-minus-render differences (Table 3(b) configuration).
 	MainThreadOnly bool
+	// NoCausal disables causal async diagnosis: worker threads are not
+	// monitored or sampled, and diagnosis falls back to pure main-thread
+	// occurrence-factor analysis — the paper's original analyzer, kept as
+	// the head-to-head baseline for the causal experiment. On apps with no
+	// async ops the two configurations are bit-identical.
+	NoCausal bool
 	// Phase1Only skips the Diagnoser: S-Checker verdicts are final, and
 	// suspicious actions are reported without stack-trace confirmation.
 	Phase1Only bool

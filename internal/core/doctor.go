@@ -34,6 +34,11 @@ type Detection struct {
 	Symptoms []int
 	// ViaCaller marks a self-developed aggregate operation.
 	ViaCaller bool
+	// Chain is the causal chain the diagnosis was attributed through (zero
+	// for plain main-thread diagnoses). For cross-action convoys ActionUID
+	// is already the *origin* action — the chain records how the blame got
+	// there.
+	Chain CausalChain
 	// Count is the number of soft hangs diagnosed to this root cause.
 	Count   int
 	FirstAt simclock.Time
@@ -57,6 +62,10 @@ type Doctor struct {
 	// scratch; the Diagnoser and the wide collector share it (both run on
 	// the Doctor's listener callbacks, never concurrently).
 	analyzer TraceAnalyzer
+	// causal wraps analyzer with causal-chain attribution; it runs instead
+	// of the plain analyzer whenever the attached app has pool workers and
+	// Config.NoCausal is off.
+	causal *CausalAnalyzer
 
 	// condEvents is cfg.conditionEvents() computed once at construction; the
 	// S-Checker opens a perf session per action execution and the event list
@@ -74,6 +83,8 @@ type Doctor struct {
 	curRec      *actionRecord
 	curExec     *app.ActionExec
 	curTraces   []*stack.Stack
+	curTagged   []stack.Tagged
+	curMain     int
 	curDropped  int
 	openFailed  bool
 	sampler     *simclock.Event
@@ -102,6 +113,7 @@ func New(cfg Config) *Doctor {
 		report:     NewReport(),
 	}
 	d.wide.doctor = d
+	d.causal = NewCausalAnalyzer(&d.analyzer)
 	d.condEvents = d.cfg.conditionEvents()
 	d.metrics = newDoctorMetrics(d)
 	return d
@@ -150,6 +162,8 @@ func (d *Doctor) Detach() {
 	d.curRec = nil
 	d.curExec = nil
 	d.curTraces = nil
+	d.curTagged = nil
+	d.curMain = 0
 	d.curDropped = 0
 	d.openFailed = false
 }
@@ -216,7 +230,9 @@ func (d *Doctor) ActionStart(e *app.ActionExec) {
 	d.curRec = r
 	d.curExec = e
 	r.execs++
-	d.curTraces = d.curTraces[:0] // reuse the backing array across executions
+	d.curTraces = d.curTraces[:0] // reuse the backing arrays across executions
+	d.curTagged = d.curTagged[:0]
+	d.curMain = 0
 	d.curDropped = 0
 	d.openFailed = false
 	d.earlyRead = nil
@@ -291,11 +307,26 @@ func (d *Doctor) perfConfig() perf.Config {
 	return cfg
 }
 
+// causalActive reports whether causal async diagnosis is in effect: the
+// attached app has pool workers and the ablation knob is off. Apps without
+// async ops run the original pipeline untouched.
+func (d *Doctor) causalActive() bool {
+	return !d.cfg.NoCausal && d.session != nil && len(d.session.WorkerThreads()) > 0
+}
+
 func (d *Doctor) monitoredThreads() []*cpu.Thread {
 	if d.cfg.MainThreadOnly {
 		return []*cpu.Thread{d.session.MainThread()}
 	}
-	return []*cpu.Thread{d.session.MainThread(), d.session.RenderThread()}
+	threads := []*cpu.Thread{d.session.MainThread(), d.session.RenderThread()}
+	if d.causalActive() {
+		// Pool workers are scheduled entities on the app side of the
+		// main-minus-render difference: an await hang burns its CPU there,
+		// and without their counters the S-Checker would see an idle main
+		// thread and never flag the action.
+		threads = append(threads, d.session.WorkerThreads()...)
+	}
+	return threads
 }
 
 // EventStart arms the Diagnoser's watchdog when the action state calls for
@@ -334,18 +365,41 @@ func (d *Doctor) startSampler() {
 		if !d.sampling {
 			return
 		}
-		st, missed, truncated := d.session.SampleMainStack()
-		if missed {
-			d.curDropped++
-			d.health.StacksDropped++
-		}
-		if truncated {
-			d.health.StacksTruncated++
-		}
-		if st != nil {
-			d.curTraces = append(d.curTraces, st)
-			d.log.AddCost(detect.CostStackSampleNs)
-			d.log.AddMem(detect.BytesPerStackSample)
+		if d.causalActive() {
+			// Causal mode dumps the main thread plus every busy pool worker,
+			// each sample tagged with the provenance of the work its thread
+			// was executing.
+			before := len(d.curTagged)
+			var missed bool
+			var truncated, lost int
+			d.curTagged, missed, truncated, lost = d.session.SampleTagged(d.curTagged)
+			if missed {
+				d.curDropped++
+				d.health.StacksDropped++
+			}
+			d.health.StacksTruncated += truncated
+			d.health.WorkerStacksLost += lost
+			for i := before; i < len(d.curTagged); i++ {
+				if !d.curTagged[i].Worker {
+					d.curMain++
+				}
+				d.log.AddCost(detect.CostStackSampleNs)
+				d.log.AddMem(detect.BytesPerStackSample)
+			}
+		} else {
+			st, missed, truncated := d.session.SampleMainStack()
+			if missed {
+				d.curDropped++
+				d.health.StacksDropped++
+			}
+			if truncated {
+				d.health.StacksTruncated++
+			}
+			if st != nil {
+				d.curTraces = append(d.curTraces, st)
+				d.log.AddCost(detect.CostStackSampleNs)
+				d.log.AddMem(detect.BytesPerStackSample)
+			}
 		}
 		period := d.cfg.SamplePeriod
 		if extra, ok := d.session.Faults().OverrunExtra(period); ok {
@@ -502,6 +556,16 @@ func (d *Doctor) sCheck(r *actionRecord, e *app.ActionExec, rt simclock.Duration
 			v, ok = reading.ValueOK(0, cond.Event)
 		} else {
 			v, ok = reading.DiffOK(cond.Event)
+			// Pool workers (threads 2+, present only in causal mode) sit on
+			// the app side of the difference: an await hang burns its CPU
+			// there while the parked main thread looks idle. A worker counter
+			// lost mid-window contributes zero rather than spoiling the
+			// main-render difference that survived.
+			for t := 2; ok && t < len(reading.PerThread); t++ {
+				if wv, wok := reading.ValueOK(t, cond.Event); wok {
+					v += wv
+				}
+			}
 		}
 		if !ok {
 			// This condition's counter was multiplexed away; skip it.
@@ -549,14 +613,28 @@ func (d *Doctor) sCheck(r *actionRecord, e *app.ActionExec, rt simclock.Duration
 
 // diagnose is the second phase: analyze the traces collected during this
 // execution's soft hang and settle the action's state (Figure 3 paths B/C).
+// In causal mode the samples are the tagged main+worker dump and the analysis
+// can re-attribute an await-parked hang to the asynchronous chain that caused
+// it; otherwise it is the paper's plain main-thread occurrence-factor pass.
 func (d *Doctor) diagnose(r *actionRecord, e *app.ActionExec, rt simclock.Duration, hang bool) {
+	causal := d.causalActive()
 	traces := d.curTraces
+	tagged := d.curTagged
 	dropped := d.curDropped
-	// AnalyzeTraces copies what it keeps (frame values), so the slice backing
+	// collected counts only main-thread dumps either way: MinTraces guards
+	// the occurrence factors of the *hanging dispatch*, and worker samples
+	// must not let a barely-sampled hang clear it.
+	collected := len(traces)
+	if causal {
+		collected = d.curMain
+	}
+	// The analyzers copy what they keep (frame values), so the slice backings
 	// can be reused by the next execution's sampler.
 	d.curTraces = traces[:0]
+	d.curTagged = tagged[:0]
+	d.curMain = 0
 	d.curDropped = 0
-	if !hang || len(traces) < d.cfg.MinTraces {
+	if !hang || collected < d.cfg.MinTraces {
 		// The bug did not manifest this time (or the hang was too short to
 		// sample meaningfully); keep the action's state so the next soft
 		// hang is traced (§3.2 path discussion).
@@ -568,13 +646,27 @@ func (d *Doctor) diagnose(r *actionRecord, e *app.ActionExec, rt simclock.Durati
 		}
 		return
 	}
-	diag, ok := d.analyzer.Analyze(traces, d.session.App.Registry, d.cfg.OccurrenceHigh)
+	var diag Diagnosis
+	var chain CausalChain
+	var fallback, ok bool
+	if causal {
+		diag, chain, fallback, ok = d.causal.Analyze(tagged, d.session.App.Registry, d.cfg.OccurrenceHigh)
+	} else {
+		diag, ok = d.analyzer.Analyze(traces, d.session.App.Registry, d.cfg.OccurrenceHigh)
+	}
 	if !ok {
 		return
 	}
+	if fallback {
+		// The main thread was demonstrably parked on asynchronous work, but
+		// no worker sample survived to attribute it; the verdict degrades to
+		// the main-thread-only await attribution.
+		d.health.CausalFallbacks++
+	}
 	// Enough samples survived to judge, but a partial set (or truncated
-	// frames) still lowers confidence in the occurrence factors.
-	lowConf := dropped > 0
+	// frames, or a failed chain attribution) still lowers confidence in the
+	// occurrence factors.
+	lowConf := dropped > 0 || fallback
 	if lowConf {
 		d.health.LowConfidence++
 	}
@@ -601,17 +693,24 @@ func (d *Doctor) diagnose(r *actionRecord, e *app.ActionExec, rt simclock.Durati
 	if r.state != HangBug {
 		d.logTransitionConf(r, HangBug, "Diagnoser", e.Seq, lowConf)
 	}
-	d.recordDetection(r, e, rt, diag)
+	d.recordDetection(r, e, rt, diag, chain)
 }
 
 // recordDetection updates the detection table, the Hang Bug Report, and the
-// known-blocking database.
-func (d *Doctor) recordDetection(r *actionRecord, e *app.ActionExec, rt simclock.Duration, diag Diagnosis) {
-	key := detectionKey{actionUID: r.uid, rootCause: diag.RootCause}
+// known-blocking database. A chain carrying an origin action re-attributes
+// the detection row to that action (a cross-action convoy is the *origin's*
+// bug — the hanging action was merely queued behind it); the chain itself is
+// kept on the row so the report shows how the blame travelled.
+func (d *Doctor) recordDetection(r *actionRecord, e *app.ActionExec, rt simclock.Duration, diag Diagnosis, chain CausalChain) {
+	uid := r.uid
+	if chain.OriginAction != "" {
+		uid = chain.OriginAction
+	}
+	key := detectionKey{actionUID: uid, rootCause: diag.RootCause}
 	det, ok := d.detections[key]
 	if !ok {
 		det = &Detection{
-			ActionUID: r.uid, RootCause: diag.RootCause,
+			ActionUID: uid, RootCause: diag.RootCause,
 			File: diag.File, Line: diag.Line,
 			Occurrence: diag.Occurrence,
 			ViaCaller:  diag.ViaCaller,
@@ -624,11 +723,12 @@ func (d *Doctor) recordDetection(r *actionRecord, e *app.ActionExec, rt simclock
 	// different condition set than the original one (Table 6 data).
 	det.Symptoms = append([]int(nil), r.lastSymptoms...)
 	det.Count++
+	det.Chain = mergeChain(det.Chain, chain)
 	if rt > det.MaxResponse {
 		det.MaxResponse = rt
 	}
 	foldStart := time.Now()
-	d.report.Add(d.session.App.Name, d.deviceLabel, r.uid, diag, rt)
+	d.report.AddChained(d.session.App.Name, d.deviceLabel, uid, diag, chain, rt)
 	d.metrics.reportFoldNs.Observe(float64(time.Since(foldStart)))
 	// Feedback loop: a diagnosed blocking *API* extends the offline tools'
 	// database; self-developed operations are only reported to the

@@ -32,6 +32,13 @@ type Health struct {
 	LowConfidence int
 	// Quarantines counts actions quarantined for repeated open failures.
 	Quarantines int
+	// WorkerStacksLost counts pool-worker stack samples lost during causal
+	// trace collection (the worker side of StacksDropped).
+	WorkerStacksLost int
+	// CausalFallbacks counts diagnoses where the main thread was parked in an
+	// await but no worker samples survived to attribute the chain, so the
+	// Doctor fell back to main-thread-only attribution.
+	CausalFallbacks int
 }
 
 // Zero reports whether nothing degraded.
@@ -49,13 +56,22 @@ func (h *Health) Add(o Health) {
 	h.VerdictsDeferred += o.VerdictsDeferred
 	h.LowConfidence += o.LowConfidence
 	h.Quarantines += o.Quarantines
+	h.WorkerStacksLost += o.WorkerStacksLost
+	h.CausalFallbacks += o.CausalFallbacks
 }
 
-// String renders the summary on one line.
+// String renders the summary on one line. The causal counters are appended
+// only when non-zero, so pre-causal renderings (and the goldens that pin
+// them) are unchanged.
 func (h Health) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"open-fail=%d retries=%d counters-lost=%d render-lost=%d stacks-dropped=%d stacks-truncated=%d overruns=%d deferred=%d low-confidence=%d quarantines=%d",
 		h.PerfOpenFailures, h.PerfOpenRetries, h.CountersLost, h.RenderLost,
 		h.StacksDropped, h.StacksTruncated, h.SamplerOverruns,
 		h.VerdictsDeferred, h.LowConfidence, h.Quarantines)
+	if h.WorkerStacksLost != 0 || h.CausalFallbacks != 0 {
+		s += fmt.Sprintf(" worker-stacks-lost=%d causal-fallbacks=%d",
+			h.WorkerStacksLost, h.CausalFallbacks)
+	}
+	return s
 }

@@ -44,6 +44,8 @@ var healthCounterHelp = [...][2]string{
 	{"hangdoctor_health_verdicts_deferred_total", "Judgements skipped for lack of surviving data."},
 	{"hangdoctor_health_low_confidence_total", "Verdicts rendered from a degraded plane."},
 	{"hangdoctor_health_quarantines_total", "Actions quarantined after consecutive open failures."},
+	{"hangdoctor_health_worker_stacks_lost_total", "Pool-worker stack samples lost during causal collection."},
+	{"hangdoctor_health_causal_fallbacks_total", "Await diagnoses degraded to main-thread-only attribution."},
 }
 
 func newDoctorMetrics(d *Doctor) *doctorMetrics {
@@ -116,6 +118,10 @@ func healthField(h *Health, i int) *int {
 		return &h.LowConfidence
 	case 9:
 		return &h.Quarantines
+	case 10:
+		return &h.WorkerStacksLost
+	case 11:
+		return &h.CausalFallbacks
 	default:
 		panic("core: healthField index out of range")
 	}

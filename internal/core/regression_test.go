@@ -106,12 +106,12 @@ func TestRedetectionRefreshesSymptoms(t *testing.T) {
 	diag := Diagnosis{RootCause: "com.example.Blocking.run", File: "Blocking.java", Line: 42, Occurrence: 0.8}
 
 	r.lastSymptoms = []int{0}
-	d.recordDetection(r, &app.ActionExec{}, 200*simclock.Millisecond, diag)
+	d.recordDetection(r, &app.ActionExec{}, 200*simclock.Millisecond, diag, CausalChain{})
 
 	// As after a periodic reset: the S-Checker re-flags the same action, now
 	// on different conditions, and the Diagnoser confirms the same cause.
 	r.lastSymptoms = []int{1, 2}
-	d.recordDetection(r, &app.ActionExec{}, 150*simclock.Millisecond, diag)
+	d.recordDetection(r, &app.ActionExec{}, 150*simclock.Millisecond, diag, CausalChain{})
 
 	dets := d.Detections()
 	if len(dets) != 1 {

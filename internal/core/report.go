@@ -25,6 +25,9 @@ type ReportEntry struct {
 	// MaxResponse and SumResponse summarize observed hang lengths.
 	MaxResponse simclock.Duration
 	SumResponse simclock.Duration
+	// Chain is the causal chain the diagnosis travelled through (zero for
+	// plain main-thread diagnoses). Merges fold it componentwise.
+	Chain CausalChain
 }
 
 // AvgResponse returns the mean diagnosed hang length.
@@ -60,6 +63,12 @@ func entryKey(appName, actionUID, root string) string {
 
 // Add records one diagnosed soft hang.
 func (r *Report) Add(appName, device, actionUID string, diag Diagnosis, rt simclock.Duration) {
+	r.AddChained(appName, device, actionUID, diag, CausalChain{}, rt)
+}
+
+// AddChained records one diagnosed soft hang together with the causal chain
+// it was attributed through (Add with a zero chain).
+func (r *Report) AddChained(appName, device, actionUID string, diag Diagnosis, chain CausalChain, rt simclock.Duration) {
 	key := entryKey(appName, actionUID, diag.RootCause)
 	e, ok := r.entries[key]
 	if !ok {
@@ -77,6 +86,7 @@ func (r *Report) Add(appName, device, actionUID string, diag Diagnosis, rt simcl
 	if rt > e.MaxResponse {
 		e.MaxResponse = rt
 	}
+	e.Chain = mergeChain(e.Chain, chain)
 }
 
 // Merge folds other reports into r (the server-side aggregation of the
@@ -103,6 +113,7 @@ func (r *Report) Merge(others ...*Report) {
 			if oe.MaxResponse > e.MaxResponse {
 				e.MaxResponse = oe.MaxResponse
 			}
+			e.Chain = mergeChain(e.Chain, oe.Chain)
 		}
 	}
 }
@@ -152,6 +163,12 @@ func (r *Report) Render() string {
 		fmt.Fprintf(&b, "%-66s %8d %7.0f%% %8d %9s\n",
 			fmt.Sprintf("%s (%s:%d)%s @ %s", e.RootCause, e.File, e.Line, kind, e.ActionUID),
 			e.Hangs, r.OccurrencePct(e), len(e.Devices), e.MaxResponse)
+		if !e.Chain.Zero() {
+			// Causal rows get a provenance sub-line; plain rows render exactly
+			// as before the causal extension.
+			fmt.Fprintf(&b, "    via %s chain from %s at %s (%d permille of hang samples)\n",
+				e.Chain.Kind, e.Chain.OriginAction, e.Chain.OriginSite, e.Chain.SharePermille)
+		}
 	}
 	if !r.Health.Zero() {
 		fmt.Fprintf(&b, "\nDegraded-mode health: %s\n", r.Health)

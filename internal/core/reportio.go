@@ -31,6 +31,8 @@ type healthWire struct {
 	VerdictsDeferred int `json:"verdicts_deferred,omitempty"`
 	LowConfidence    int `json:"low_confidence,omitempty"`
 	Quarantines      int `json:"quarantines,omitempty"`
+	WorkerStacksLost int `json:"worker_stacks_lost,omitempty"`
+	CausalFallbacks  int `json:"causal_fallbacks,omitempty"`
 }
 
 func (hw healthWire) toHealth() Health { return Health(hw) }
@@ -46,6 +48,12 @@ type entryWire struct {
 	Devices     []string `json:"devices"`
 	MaxResponse int64    `json:"max_response_ns"`
 	SumResponse int64    `json:"sum_response_ns"`
+	// Causal-chain provenance, all omitted for plain main-thread rows so
+	// causal-free documents stay byte-identical to the pre-causal schema.
+	ChainKind          string `json:"chain_kind,omitempty"`
+	ChainOriginAction  string `json:"chain_origin_action,omitempty"`
+	ChainOriginSite    string `json:"chain_origin_site,omitempty"`
+	ChainSharePermille int    `json:"chain_share_permille,omitempty"`
 }
 
 const reportWireVersion = 1
@@ -71,6 +79,10 @@ func (r *Report) Export(w io.Writer) error {
 			File: e.File, Line: e.Line, ViaCaller: e.ViaCaller,
 			Hangs: e.Hangs, Devices: devs,
 			MaxResponse: int64(e.MaxResponse), SumResponse: int64(e.SumResponse),
+			ChainKind:          e.Chain.Kind,
+			ChainOriginAction:  e.Chain.OriginAction,
+			ChainOriginSite:    e.Chain.OriginSite,
+			ChainSharePermille: e.Chain.SharePermille,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -96,7 +108,7 @@ func ImportReport(rd io.Reader) (*Report, error) {
 		if h.PerfOpenFailures < 0 || h.PerfOpenRetries < 0 || h.CountersLost < 0 ||
 			h.RenderLost < 0 || h.StacksDropped < 0 || h.StacksTruncated < 0 ||
 			h.SamplerOverruns < 0 || h.VerdictsDeferred < 0 || h.LowConfidence < 0 ||
-			h.Quarantines < 0 {
+			h.Quarantines < 0 || h.WorkerStacksLost < 0 || h.CausalFallbacks < 0 {
 			return nil, fmt.Errorf("core: negative health counter in %+v", h)
 		}
 		out.Health = h
@@ -117,12 +129,21 @@ func ImportReport(rd io.Reader) (*Report, error) {
 		if ew.Line < 0 {
 			return nil, fmt.Errorf("core: entry %s/%s has negative line %d", ew.App, ew.RootCause, ew.Line)
 		}
+		if ew.ChainSharePermille < 0 || ew.ChainSharePermille > 1000 {
+			return nil, fmt.Errorf("core: entry %s/%s has chain share %d out of [0,1000]", ew.App, ew.RootCause, ew.ChainSharePermille)
+		}
 		e := &ReportEntry{
 			App: ew.App, ActionUID: ew.ActionUID, RootCause: ew.RootCause,
 			File: ew.File, Line: ew.Line, ViaCaller: ew.ViaCaller,
 			Hangs: ew.Hangs, Devices: map[string]bool{},
 			MaxResponse: simclock.Duration(ew.MaxResponse),
 			SumResponse: simclock.Duration(ew.SumResponse),
+			Chain: CausalChain{
+				Kind:          ew.ChainKind,
+				OriginAction:  ew.ChainOriginAction,
+				OriginSite:    ew.ChainOriginSite,
+				SharePermille: ew.ChainSharePermille,
+			},
 		}
 		for _, d := range ew.Devices {
 			e.Devices[d] = true
@@ -146,6 +167,7 @@ func (r *Report) Anonymize(salt string) *Report {
 			File: e.File, Line: e.Line, ViaCaller: e.ViaCaller,
 			Hangs: e.Hangs, Devices: map[string]bool{},
 			MaxResponse: e.MaxResponse, SumResponse: e.SumResponse,
+			Chain: e.Chain,
 		}
 		for d := range e.Devices {
 			h := fnv.New64a()

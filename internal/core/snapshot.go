@@ -32,6 +32,7 @@ func cloneEntry(e *ReportEntry) *ReportEntry {
 		File: e.File, Line: e.Line, ViaCaller: e.ViaCaller,
 		Hangs: e.Hangs, Devices: make(map[string]bool, len(e.Devices)),
 		MaxResponse: e.MaxResponse, SumResponse: e.SumResponse,
+		Chain: e.Chain,
 	}
 	for d := range e.Devices {
 		ne.Devices[d] = true
@@ -52,6 +53,7 @@ func mergeEntryInto(dst, src *ReportEntry) {
 	if src.MaxResponse > dst.MaxResponse {
 		dst.MaxResponse = src.MaxResponse
 	}
+	dst.Chain = mergeChain(dst.Chain, src.Chain)
 }
 
 // ---------------------------------------------------------------------------
@@ -344,6 +346,7 @@ func entryFromWire(we *WireEntry) *ReportEntry {
 		File: we.File, Line: we.Line, ViaCaller: we.ViaCaller,
 		Hangs: we.Hangs, Devices: make(map[string]bool, len(we.Devices)),
 		MaxResponse: we.MaxResponse, SumResponse: we.SumResponse,
+		Chain: we.Chain,
 	}
 	for _, d := range we.Devices {
 		e.Devices[d] = true

@@ -1,0 +1,283 @@
+package corpus
+
+import (
+	"hangdoctor/internal/android/app"
+	"hangdoctor/internal/simclock"
+	"hangdoctor/internal/stack"
+)
+
+// async.go defines the asynchronous-bug slice of the corpus: six apps whose
+// soft hangs originate in work spawned through the bounded worker pool —
+// on-main awaits, pool convoys, post-storms, delayed-post chains, leaky
+// ordering across actions, and completion dispatches — plus three async-clean
+// controls. The paper's main-thread-only occurrence-factor analysis either
+// misattributes these hangs (the await API, FutureTask.get, dominates the
+// samples) or misses them entirely (the blocking work belongs to another
+// action); the causal analyzer is evaluated head-to-head against it on this
+// slice (the `causal` experiment).
+//
+// The slice is deliberately kept out of Corpus.Apps: the 114-app universe
+// and its Table-5 pins (34 bugs, 23 missed offline) are the paper's corpus
+// and stay frozen.
+func asyncApps(b *builder) []*app.App {
+	return []*app.App{
+		chatRelay(b), photoFeed(b), newsBurst(b), geoTracker(b),
+		cloudNotes(b), streamCast(b),
+		fitSync(b), podGrid(b), inkBoard(b),
+	}
+}
+
+// marshalCost is the small on-main marshalling an async spawn costs at its
+// call site (argument packing, executor bookkeeping).
+func marshalCost(cpu simclock.Duration) app.CostModel {
+	return app.CostModel{CPU: cpu, Jitter: 0.2,
+		MinorFaultsPerSec: 600, InstructionsPerSec: 1.1e9}
+}
+
+// chatRelay: messaging client. The thread-history DB query runs on a pool
+// worker but the click handler awaits it with FutureTask.get — the on-main-
+// await pattern. Main-thread samples during the hang all show the await API,
+// so the plain analyzer blames java.util.concurrent.FutureTask.get; only the
+// worker samples name the query.
+func chatRelay(b *builder) *app.App {
+	store := b.class("com.chatrelay.db.MessageStore", false, "", false)
+	query := b.api(store, "queryThread", 152, 0)
+	awaitBug := bug("ChatRelay/412-queryThread", "412", "thread-history DB query awaited on main via FutureTask.get")
+
+	q := b.op("queryThread", query, nil, marshalCost(ms(6)), 0.55, awaitBug)
+	q.Async = &app.Async{Task: app.IOHeavy(ms(30), 8, ms(20)), Await: true}
+
+	a := &app.App{
+		Name: "ChatRelay", Commit: "b3a91e2", Category: "Communication", Downloads: "500K+",
+		Registry: b.reg, Bugs: []*app.Bug{awaitBug},
+	}
+	a.Actions = []*app.Action{
+		action("Open Thread", "onClick", 2,
+			q, b.quickUIOp("android.widget.ListView.layoutChildren")),
+		action("Scroll Threads", "onScroll", 2.5,
+			b.quickUIOp("android.widget.ListView.layoutChildren")),
+		action("Compose", "onClick", 1.5,
+			b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(60), 8))),
+	}
+	return a
+}
+
+// photoFeed: photo browser with a single-threaded decode executor. Opening an
+// album fans four thumbnail decodes onto the width-1 pool and awaits the
+// join, so the decodes serialize into a convoy behind each other.
+func photoFeed(b *builder) *app.App {
+	dec := b.class("com.photofeed.image.ThumbDecoder", false, "", false)
+	decode := b.api(dec, "decode", 77, 0)
+	convoy := bug("PhotoFeed/188-decode", "188", "four thumbnail decodes serialize on a width-1 executor while the album open awaits them")
+
+	d := b.op("decode", decode, nil, marshalCost(ms(7)), 0.55, convoy)
+	d.Async = &app.Async{Tasks: 4, Task: app.ParseHeavy(ms(60)), Await: true}
+
+	a := &app.App{
+		Name: "PhotoFeed", Commit: "9f04c71", Category: "Photography", Downloads: "100K+",
+		Registry: b.reg, Bugs: []*app.Bug{convoy},
+		PoolWidth: 1,
+	}
+	a.Actions = []*app.Action{
+		action("Open Album", "onClick", 2,
+			d, b.uiOp("android.widget.ImageView.setImageBitmap", app.UIWork(ms(35), 10))),
+		action("Scroll Feed", "onScroll", 2.5,
+			b.quickUIOp("android.widget.ListView.layoutChildren")),
+		action("Open Settings", "onClick", 1.2,
+			b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(55), 7))),
+	}
+	return a
+}
+
+// newsBurst: feed reader that posts one parse task per feed entry — a
+// post-storm of 24 tasks onto the width-2 pool, awaited at the end of the
+// refresh handler. No single task is slow; the backlog is.
+func newsBurst(b *builder) *app.App {
+	parser := b.class("com.newsburst.feed.FeedParser", false, "", false)
+	parse := b.api(parser, "parseEntry", 203, 0)
+	storm := bug("NewsBurst/57-parseEntry", "57", "refresh posts one parse task per entry (24 at once) and awaits the storm")
+
+	p := b.op("parseEntry", parse, nil, marshalCost(ms(8)), 0.5, storm)
+	p.Async = &app.Async{Tasks: 24, Task: app.CPULoop(ms(25)), Await: true}
+
+	a := &app.App{
+		Name: "NewsBurst", Commit: "4dd82a0", Category: "News & Magazines", Downloads: "1M+",
+		Registry: b.reg, Bugs: []*app.Bug{storm},
+	}
+	a.Actions = []*app.Action{
+		action("Refresh Feed", "onClick", 2,
+			p, b.quickUIOp("android.widget.TextView.setText")),
+		action("Read Article", "onClick", 2.5,
+			b.uiOp("android.widget.TextView.setText", app.UIWork(ms(70), 9))),
+		action("Scroll Feed", "onScroll", 2.2,
+			b.quickUIOp("android.widget.ListView.layoutChildren")),
+	}
+	return a
+}
+
+// geoTracker: location logger whose tile fetch reaches the pool through a
+// six-hop postDelayed retry chain before the map open can join it — the
+// delayed-post pattern, where most of the stall is timer hops, not work.
+func geoTracker(b *builder) *app.App {
+	fetcher := b.class("com.geotracker.map.TileFetcher", false, "", false)
+	fetch := b.api(fetcher, "fetchTile", 131, 0)
+	delayed := bug("GeoTracker/73-fetchTile", "73", "tile fetch rides a six-hop postDelayed chain before running, awaited on main")
+
+	f := b.op("fetchTile", fetch, nil, marshalCost(ms(6)), 0.5, delayed)
+	f.Async = &app.Async{Task: app.IOHeavy(ms(15), 3, ms(15)),
+		Hops: 6, HopDelay: ms(30), Await: true}
+
+	a := &app.App{
+		Name: "GeoTracker", Commit: "e7c2b95", Category: "Travel & Local", Downloads: "50K+",
+		Registry: b.reg, Bugs: []*app.Bug{delayed},
+	}
+	a.Actions = []*app.Action{
+		action("Open Map", "onClick", 2,
+			f, b.uiOp("android.view.View.invalidate", app.UIWork(ms(40), 6))),
+		action("Pan Map", "onScroll", 2.5,
+			b.quickUIOp("android.view.View.invalidate")),
+		action("Track List", "onClick", 1.5,
+			b.uiOp("android.widget.ListView.layoutChildren", app.UIWork(ms(50), 8))),
+	}
+	return a
+}
+
+// cloudNotes: note-taking app with the leaky-ordering bug. The sync action
+// detaches a long upload task onto the width-1 pool and returns immediately
+// (its own dispatch never hangs); a note opened afterwards awaits a quick
+// DB load that queues behind the upload. The hang manifests on "Open Note",
+// but the bug — and the causal attribution — belongs to "Sync Notes".
+func cloudNotes(b *builder) *app.App {
+	leaky := bug("CloudNotes/266-uploadAll", "266", "detached full-sync upload monopolizes the width-1 executor; later note loads queue behind it")
+
+	sync := b.selfOp("com.cloudnotes.sync.SyncEngine", "uploadAll", "SyncEngine.java", 324,
+		marshalCost(ms(8)), 0.5, leaky)
+	sync.Async = &app.Async{Task: app.IOHeavy(ms(200), 24, ms(50))}
+
+	store := b.class("com.cloudnotes.db.NoteStore", false, "", false)
+	load := b.api(store, "load", 91, 0)
+	open := b.op("load", load, nil, marshalCost(ms(5)), 1, nil)
+	open.Async = &app.Async{Task: app.IOHeavy(ms(8), 2, ms(8)), Await: true}
+
+	a := &app.App{
+		Name: "CloudNotes", Commit: "51fe8d3", Category: "Productivity", Downloads: "100K+",
+		Registry: b.reg, Bugs: []*app.Bug{leaky},
+		PoolWidth: 1,
+	}
+	a.Actions = []*app.Action{
+		action("Sync Notes", "onClick", 1.5,
+			sync, b.quickUIOp("android.widget.TextView.setText")),
+		action("Open Note", "onClick", 2.5,
+			open, b.quickUIOp("android.widget.TextView.setText")),
+		action("Browse Notebooks", "onScroll", 2,
+			b.quickUIOp("android.widget.ListView.layoutChildren")),
+	}
+	return a
+}
+
+// streamCast: media player with the completion-on-main pattern. The segment
+// fetch itself runs off-thread (correctly), but its completion — parsing the
+// fetched segment — is posted back and hangs the main thread as its own
+// dispatch. The worker-side stack (SegmentFetcher.fetch) is innocent; the
+// on-main parse leaf is the root cause, with completion provenance attached.
+func streamCast(b *builder) *app.App {
+	completion := bug("StreamCast/329-parse", "329", "segment-fetch completion parses the segment on the main thread")
+
+	parse := b.selfOp("com.streamcast.player.SegmentParser", "parse", "SegmentParser.java", 166,
+		marshalCost(ms(6)), 0.55, completion)
+	parse.Async = &app.Async{
+		Task: app.IOHeavy(ms(20), 5, ms(20)),
+		TaskFrame: &stack.Frame{Class: "com.streamcast.net.SegmentFetcher",
+			Method: "fetch", File: "SegmentFetcher.java", Line: 58},
+		Completion:      app.ParseHeavy(ms(160)),
+		CompletionDelay: ms(10),
+	}
+
+	a := &app.App{
+		Name: "StreamCast", Commit: "a60d4f8", Category: "Video Players", Downloads: "1M+",
+		Registry: b.reg, Bugs: []*app.Bug{completion},
+	}
+	a.Actions = []*app.Action{
+		action("Play Stream", "onClick", 2,
+			parse, b.uiOp("android.view.View.invalidate", app.UIWork(ms(30), 5))),
+		action("Browse Channels", "onScroll", 2.5,
+			b.quickUIOp("android.widget.ListView.layoutChildren")),
+		action("Open Guide", "onClick", 1.5,
+			b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(65), 8))),
+	}
+	return a
+}
+
+// fitSync: async-clean control — a quick awaited append plus a postDelayed
+// refresh completion, all comfortably sub-perceivable. Exercises every async
+// mechanism (pool, await, delayed completion) without a single hang.
+func fitSync(b *builder) *app.App {
+	logCls := b.class("com.fitsync.db.WorkoutLog", false, "", false)
+	appendAPI := b.api(logCls, "append", 44, 0)
+
+	w := b.op("append", appendAPI, nil, marshalCost(ms(5)), 1, nil)
+	w.Async = &app.Async{Task: app.IOHeavy(ms(10), 2, ms(10)), Await: true,
+		Completion: app.CPULoop(ms(12)), CompletionDelay: ms(15)}
+
+	a := &app.App{
+		Name: "FitSync", Commit: "0c9b7aa", Category: "Health & Fitness", Downloads: "500K+",
+		Registry: b.reg,
+	}
+	a.Actions = []*app.Action{
+		action("Log Workout", "onClick", 2,
+			w, b.quickUIOp("android.widget.TextView.setText")),
+		action("View History", "onScroll", 2.5,
+			b.quickUIOp("android.widget.ListView.layoutChildren")),
+		action("Open Goals", "onClick", 1.5,
+			b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(55), 7))),
+	}
+	return a
+}
+
+// podGrid: async-clean control — a detached prefetch keeps a worker busy for
+// ~300 ms while the dispatch returns instantly. Worker CPU alone must not
+// produce a detection: the action never hangs, so the S-Checker never reads.
+func podGrid(b *builder) *app.App {
+	pre := b.selfOp("com.podgrid.feed.EpisodePrefetcher", "prefetch", "EpisodePrefetcher.java", 102,
+		marshalCost(ms(5)), 1, nil)
+	pre.Async = &app.Async{Task: app.IOHeavy(ms(40), 8, ms(30))}
+
+	a := &app.App{
+		Name: "PodGrid", Commit: "77d13c4", Category: "Music & Audio", Downloads: "100K+",
+		Registry: b.reg,
+	}
+	a.Actions = []*app.Action{
+		action("Refresh Grid", "onClick", 2,
+			pre, b.quickUIOp("android.widget.ListView.layoutChildren")),
+		action("Browse Episodes", "onScroll", 2.5,
+			b.quickUIOp("android.widget.ListView.layoutChildren")),
+		action("Open Player", "onClick", 1.5,
+			b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(50), 7))),
+	}
+	return a
+}
+
+// inkBoard: async-clean control — a legitimately heavy UI canvas open with a
+// detached brush-cache warmup in flight. The worker's CPU lands on the app
+// side of the S-Checker difference and may flag the action, but the
+// Diagnoser must still read the main-thread samples as UI work and settle
+// it Normal: workers in the counter set must not turn UI hangs into bugs.
+func inkBoard(b *builder) *app.App {
+	warm := b.selfOp("com.inkboard.brush.BrushCache", "warm", "BrushCache.java", 61,
+		marshalCost(ms(5)), 1, nil)
+	warm.Async = &app.Async{Task: app.IOHeavy(ms(30), 5, ms(25))}
+
+	a := &app.App{
+		Name: "InkBoard", Commit: "2b8ac09", Category: "Art & Design", Downloads: "50K+",
+		Registry: b.reg,
+	}
+	a.Actions = []*app.Action{
+		action("Open Canvas", "onClick", 2,
+			b.uiOp("android.view.LayoutInflater.inflate", app.UIWork(ms(140), 13)), warm),
+		action("Pick Brush", "onClick", 2.2,
+			b.quickUIOp("android.widget.ListView.layoutChildren")),
+		action("Zoom", "onScroll", 2.5,
+			b.quickUIOp("android.view.View.invalidate")),
+	}
+	return a
+}

@@ -8,7 +8,10 @@
 //   - the 8 Table-1 motivation apps with well-known soft hang bugs, used for
 //     the timeout study (Table 2) and as the S-Checker training set;
 //   - 90 generated bug-free apps that round the corpus out to 114 and
-//     exercise the false-positive path (UI-only soft hangs).
+//     exercise the false-positive path (UI-only soft hangs);
+//   - a separate async slice (async.go) of 6 asynchronous-bug apps plus 3
+//     async-clean controls, kept outside the frozen 114-app universe, that
+//     exercises causal-chain attribution.
 //
 // Every app shares one api.Registry so the known-blocking database — the
 // artifact Hang Doctor's feedback loop extends — is global, as in the paper.
@@ -35,6 +38,12 @@ type Corpus struct {
 	Table5 []*app.App
 	// Motivation are the 8 Table-1 apps with well-known bugs.
 	Motivation []*app.App
+	// Async are the asynchronous-bug apps and their async-clean controls
+	// (see async.go). They share the registry but live outside Apps: the
+	// 114-app universe and its Table-5 counts are the paper's corpus and
+	// stay frozen; the async slice extends the evaluation, it does not
+	// rewrite it.
+	Async []*app.App
 }
 
 // Build assembles the corpus. It panics on any internal inconsistency
@@ -48,12 +57,18 @@ func Build() *Corpus {
 	c.Table5 = table5Apps(b)
 	c.Motivation = motivationApps(b)
 	gen := generatedApps(b, 114-len(c.Table5)-len(c.Motivation))
+	c.Async = asyncApps(b)
 
 	c.Apps = append(c.Apps, c.Table5...)
 	c.Apps = append(c.Apps, c.Motivation...)
 	c.Apps = append(c.Apps, gen...)
 
 	for _, a := range c.Apps {
+		if err := a.Finalize(); err != nil {
+			panic("corpus: " + err.Error())
+		}
+	}
+	for _, a := range c.Async {
 		if err := a.Finalize(); err != nil {
 			panic("corpus: " + err.Error())
 		}
@@ -80,14 +95,29 @@ func Shared() *Corpus {
 	return sharedCorpus
 }
 
-// App returns the app with the given name.
+// App returns the app with the given name (searching Apps, then Async).
 func (c *Corpus) App(name string) (*app.App, bool) {
 	for _, a := range c.Apps {
 		if a.Name == name {
 			return a, true
 		}
 	}
+	for _, a := range c.Async {
+		if a.Name == name {
+			return a, true
+		}
+	}
 	return nil, false
+}
+
+// AsyncBugs returns the seeded bugs of the async slice, sorted by ID.
+func (c *Corpus) AsyncBugs() []*app.Bug {
+	var out []*app.Bug
+	for _, a := range c.Async {
+		out = append(out, a.Bugs...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // MustApp returns the named app or panics.
@@ -358,6 +388,26 @@ func (c *Corpus) CheckInvariants() error {
 	if got := len(c.MissedOfflineBugs()); got != 23 {
 		return fmt.Errorf("missed-offline bugs = %d, want 23", got)
 	}
+	if len(c.Async) != 9 {
+		return fmt.Errorf("corpus has %d async apps, want 9", len(c.Async))
+	}
+	if got := len(c.AsyncBugs()); got != 6 {
+		return fmt.Errorf("async bugs = %d, want 6", got)
+	}
+	asyncBugApps, asyncClean := 0, 0
+	for _, a := range c.Async {
+		if !a.HasAsync() {
+			return fmt.Errorf("async app %s has no async ops", a.Name)
+		}
+		if len(a.Bugs) > 0 {
+			asyncBugApps++
+		} else {
+			asyncClean++
+		}
+	}
+	if asyncBugApps != 6 || asyncClean != 3 {
+		return fmt.Errorf("async slice = %d bug apps + %d controls, want 6 + 3", asyncBugApps, asyncClean)
+	}
 	names := map[string]bool{}
 	for _, a := range c.Apps {
 		if names[a.Name] {
@@ -365,8 +415,14 @@ func (c *Corpus) CheckInvariants() error {
 		}
 		names[a.Name] = true
 	}
+	for _, a := range c.Async {
+		if names[a.Name] {
+			return fmt.Errorf("duplicate app name %q", a.Name)
+		}
+		names[a.Name] = true
+	}
 	ids := map[string]bool{}
-	for _, b := range c.AllBugs() {
+	for _, b := range append(c.AllBugs(), c.AsyncBugs()...) {
 		if ids[b.ID] {
 			return fmt.Errorf("duplicate bug ID %q", b.ID)
 		}

@@ -178,10 +178,64 @@ type Call struct {
 	Fn func()
 }
 
+// WaitGate parks the thread until G opens — the completion of asynchronous
+// work whose finish time is unknown when the segment is enqueued, unlike
+// Block's fixed Dur. Entering the wait is a voluntary context switch; Stack
+// is what a sampler sees while parked (an await frame such as
+// FutureTask.get, exactly as in a real ANR trace). A WaitGate reached after
+// its gate already opened is skipped without a switch.
+type WaitGate struct {
+	G     *Gate
+	Stack *stack.Stack
+}
+
 func (Compute) isSegment()    {}
 func (Block) isSegment()      {}
 func (BlockUntil) isSegment() {}
 func (Call) isSegment()       {}
+func (WaitGate) isSegment()   {}
+
+// Gate is a one-shot completion latch: threads wait on it with a WaitGate
+// segment, and whoever finishes the guarded work calls Open exactly once to
+// release them. It models join points whose timing emerges from scheduling
+// (a worker task the main thread awaits) rather than being scripted.
+type Gate struct {
+	open    bool
+	waiters []*Thread
+}
+
+// NewGate returns a closed gate.
+func NewGate() *Gate { return &Gate{} }
+
+// Opened reports whether Open has been called.
+func (g *Gate) Opened() bool { return g.open }
+
+// Open releases the gate, waking every thread parked in a WaitGate on it.
+// Waiters that exited while parked are skipped. Opening twice panics: the
+// one-shot contract keeps completion accounting honest.
+func (g *Gate) Open() {
+	if g.open {
+		panic("cpu: gate opened twice")
+	}
+	g.open = true
+	var s *Scheduler
+	for _, t := range g.waiters {
+		if t.state != Blocked || len(t.segs) == 0 {
+			continue
+		}
+		if wg, ok := t.segs[0].(WaitGate); !ok || wg.G != g {
+			continue
+		}
+		t.blockStack = nil
+		t.segs = t.segs[1:] // retire the WaitGate
+		s = t.sched
+		s.makeRunnable(t)
+	}
+	g.waiters = nil
+	if s != nil {
+		s.dispatch()
+	}
+}
 
 // Thread is a simulated kernel thread.
 type Thread struct {
@@ -560,6 +614,21 @@ func (s *Scheduler) runThread(t *Thread) {
 				continue
 			}
 			s.blockThread(t, seg.At, seg.Stack)
+			return
+		case WaitGate:
+			if seg.G.open {
+				t.segs = t.segs[1:]
+				continue
+			}
+			// Park like blockThread, but with no wake event: Open pops the
+			// segment and re-runs the thread whenever the guarded work lands.
+			seg.G.waiters = append(seg.G.waiters, t)
+			t.counters.VoluntaryCtxSwitches++
+			t.state = Blocked
+			t.blockStack = seg.Stack
+			s.traceDescheduled(t, DeschedBlocked)
+			s.releaseCore(t)
+			s.dispatch()
 			return
 		case Compute:
 			if seg.Dur <= 0 {

@@ -35,6 +35,7 @@ func Registry() []struct {
 		{"devices", func(c *Context) (Result, error) { return RunDeviceGenerality(c) }},
 		{"impact", func(c *Context) (Result, error) { return RunImpact(c) }},
 		{"seeds", func(c *Context) (Result, error) { return RunSeedRobustness(c) }},
+		{"causal", func(c *Context) (Result, error) { return RunCausal(c) }},
 	}
 }
 

@@ -45,12 +45,18 @@ type Rates struct {
 	// stretching the next sampling interval (CPU starvation of the
 	// monitoring thread).
 	SamplerOverrun float64
+	// WorkerStackMiss is the probability that one pool-worker stack dump is
+	// lost. Worker dumps fail independently of (and in practice more often
+	// than) main-thread dumps: workers are not ptrace-stopped by the input
+	// dispatch path, so the sampler races their scheduling.
+	WorkerStackMiss float64
 }
 
 // Zero reports whether every rate is zero.
 func (r Rates) Zero() bool {
 	return r.PerfOpenFail == 0 && r.CounterDrop == 0 && r.RenderLoss == 0 &&
-		r.StackMiss == 0 && r.StackTruncate == 0 && r.SamplerOverrun == 0
+		r.StackMiss == 0 && r.StackTruncate == 0 && r.SamplerOverrun == 0 &&
+		r.WorkerStackMiss == 0
 }
 
 // String renders the non-zero rates compactly ("open=0.10 stack=0.50").
@@ -70,6 +76,7 @@ func (r Rates) String() string {
 	add("stack", r.StackMiss)
 	add("trunc", r.StackTruncate)
 	add("overrun", r.SamplerOverrun)
+	add("worker", r.WorkerStackMiss)
 	if s == "" {
 		return "none"
 	}
@@ -79,12 +86,13 @@ func (r Rates) String() string {
 // Stats counts the faults an injector actually delivered, for the chaos
 // harness's ground-truth view of how hostile a run really was.
 type Stats struct {
-	PerfOpenFails   int
-	CountersDropped int
-	RenderLosses    int
-	StacksMissed    int
-	StacksTruncated int
-	SamplerOverruns int
+	PerfOpenFails      int
+	CountersDropped    int
+	RenderLosses       int
+	StacksMissed       int
+	StacksTruncated    int
+	SamplerOverruns    int
+	WorkerStacksMissed int
 }
 
 // Injector makes the fault decisions. Each fault kind draws from its own
@@ -99,6 +107,7 @@ type Injector struct {
 	stackRng   *simrand.Rand
 	truncRng   *simrand.Rand
 	overrunRng *simrand.Rand
+	workerRng  *simrand.Rand
 }
 
 // New builds an injector whose decisions are a pure function of seed and
@@ -113,6 +122,7 @@ func New(seed uint64, rates Rates) *Injector {
 		stackRng:   root.Derive("fault/stack-miss"),
 		truncRng:   root.Derive("fault/stack-trunc"),
 		overrunRng: root.Derive("fault/sampler-overrun"),
+		workerRng:  root.Derive("fault/worker-stack-miss"),
 	}
 }
 
@@ -153,6 +163,7 @@ func RegisterStats(reg *obs.Registry, get func() Stats) {
 		{"hangdoctor_fault_stacks_missed_total", "Injected whole-stack sample losses.", func(s Stats) int { return s.StacksMissed }},
 		{"hangdoctor_fault_stacks_truncated_total", "Injected stack truncations.", func(s Stats) int { return s.StacksTruncated }},
 		{"hangdoctor_fault_sampler_overruns_total", "Injected late sampler ticks.", func(s Stats) int { return s.SamplerOverruns }},
+		{"hangdoctor_fault_worker_stacks_missed_total", "Injected pool-worker stack sample losses.", func(s Stats) int { return s.WorkerStacksMissed }},
 	} {
 		sel := c.sel
 		reg.CounterFunc(c.name, c.help, func() int64 { return int64(sel(get())) })
@@ -217,6 +228,15 @@ func (in *Injector) StackMissed() bool {
 		return false
 	}
 	in.stats.StacksMissed++
+	return true
+}
+
+// WorkerStackMissed decides whether one pool-worker stack sample is lost.
+func (in *Injector) WorkerStackMissed() bool {
+	if in == nil || !fire(in.workerRng, in.rates.WorkerStackMiss) {
+		return false
+	}
+	in.stats.WorkerStacksMissed++
 	return true
 }
 

@@ -76,17 +76,17 @@ type diskFS struct{}
 func (diskFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
 	return os.OpenFile(name, flag, perm)
 }
-func (diskFS) Rename(oldpath, newpath string) error      { return os.Rename(oldpath, newpath) }
-func (diskFS) Remove(name string) error                  { return os.Remove(name) }
+func (diskFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (diskFS) Remove(name string) error                     { return os.Remove(name) }
 func (diskFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
 
 // Injected-fault sentinel errors. Callers must treat them like the real
 // thing (ENOSPC, EIO); tests match on them to tell injected failures from
 // genuine ones.
 var (
-	ErrTornWrite  = errors.New("fault: injected torn write")
-	ErrDiskFull   = errors.New("fault: injected disk full")
-	ErrFsyncFail  = errors.New("fault: injected fsync failure")
+	ErrTornWrite = errors.New("fault: injected torn write")
+	ErrDiskFull  = errors.New("fault: injected disk full")
+	ErrFsyncFail = errors.New("fault: injected fsync failure")
 )
 
 // StorageRates holds one independent probability per storage fault; the

@@ -389,6 +389,8 @@ func (a *Aggregator) scrape() {
 		{"verdicts_deferred", health.VerdictsDeferred},
 		{"low_confidence", health.LowConfidence},
 		{"quarantines", health.Quarantines},
+		{"worker_stacks_lost", health.WorkerStacksLost},
+		{"causal_fallbacks", health.CausalFallbacks},
 	} {
 		reg.Gauge("hangdoctor_fleet_health_"+hc.name,
 			"Summed degraded-mode health counter across devices.").Set(int64(hc.v))

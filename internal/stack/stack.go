@@ -158,6 +158,43 @@ func (s *Stack) Concat(inner *Stack) *Stack {
 	return &Stack{Frames: frames}
 }
 
+// Origin is the causal edge from a unit of work back to the user action
+// that transitively spawned it. Input-event dispatches carry an Origin with
+// Kind "input"; every task an op posts, submits, or delays inherits the
+// spawning dispatch's ActionUID with its own Site and Kind, so a sampled
+// worker-thread stack can be attributed to the action whose dispatch is
+// waiting on it. Origins are comparable values and precomputed at app
+// finalization, so tagging a sample is a plain struct copy.
+type Origin struct {
+	// ActionUID is the injected UID of the originating user action.
+	ActionUID string
+	// Site is the class.method of the API that created the causal edge (the
+	// spawn site: the submit/post call, or the input handler for dispatches).
+	Site string
+	// Kind classifies the edge: "input" (direct input-event dispatch),
+	// "submit" (worker-pool task), "post" (looper self-post), "delay"
+	// (PostDelayed timer hop), or "completion" (result delivered back to the
+	// main thread).
+	Kind string
+}
+
+// IsZero reports whether o carries no provenance (an untagged sample).
+func (o Origin) IsZero() bool { return o == Origin{} }
+
+// Tagged pairs a sampled stack with its provenance: which thread family it
+// was dumped from and which causal chain it belongs to. The causal trace
+// analyzer groups samples by (Worker, Origin) to compute per-chain
+// occurrence factors.
+type Tagged struct {
+	Stack *Stack
+	// Origin is the causal edge of the work the thread was executing when
+	// sampled; zero for unattributed work.
+	Origin Origin
+	// Worker marks samples dumped from a background worker thread rather
+	// than the main thread.
+	Worker bool
+}
+
 // String renders the stack one frame per line, leaf first, matching the
 // layout of an Android ANR trace.
 func (s *Stack) String() string {

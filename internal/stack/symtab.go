@@ -30,6 +30,11 @@ const (
 	// symbol under an epoch counter and re-resolved lazily after each
 	// database change; read it through KnownBlocking, never through Attrs.
 	SymKnownBlocking
+	// SymAwait marks synchronization symbols (FutureTask.get,
+	// CountDownLatch.await, ...) whose presence at the leaf of a main-thread
+	// stack means the dispatch is waiting on asynchronous work: the hang's
+	// real root cause lives in the chain being awaited, not in these frames.
+	SymAwait
 )
 
 // AttrResolver computes the static attribute bits (SymUI, SymFramework) of
